@@ -1,0 +1,79 @@
+// Command revft-tables regenerates every analytic table and figure-derived
+// number of the paper — thresholds, blowups, hybrid thresholds, entropy
+// bounds, circuit audits — pairing each published value with the value this
+// library computes.
+//
+// Usage:
+//
+//	revft-tables [-exp all|table1|thresholds|table2|blowup|unprotected|entropy|audit|vonneumann|exact|nand|synthesis|pairs] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"revft/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "revft-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("revft-tables", flag.ContinueOnError)
+	expName := fs.String("exp", "all", "experiment to regenerate")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tables, err := selectTables(*expName)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	return nil
+}
+
+func selectTables(name string) ([]*exp.Table, error) {
+	switch name {
+	case "all":
+		return exp.AllAnalytic(), nil
+	case "table1":
+		return []*exp.Table{exp.Table1()}, nil
+	case "thresholds":
+		return []*exp.Table{exp.Thresholds()}, nil
+	case "table2":
+		return []*exp.Table{exp.Table2()}, nil
+	case "blowup":
+		return []*exp.Table{exp.Blowup()}, nil
+	case "unprotected":
+		return []*exp.Table{exp.Unprotected()}, nil
+	case "entropy":
+		return []*exp.Table{exp.EntropyBounds()}, nil
+	case "audit":
+		return []*exp.Table{exp.LocalCircuitAudit()}, nil
+	case "vonneumann":
+		return []*exp.Table{exp.VonNeumannBaseline()}, nil
+	case "exact":
+		return []*exp.Table{exp.ExactThresholds()}, nil
+	case "nand":
+		return []*exp.Table{exp.NANDSimulation()}, nil
+	case "synthesis":
+		return []*exp.Table{exp.SynthesisCosts()}, nil
+	case "pairs":
+		return []*exp.Table{exp.PairAnalysis()}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,388 @@
+// Command revft-verify runs the reproduction's exhaustive, deterministic
+// verification suite — the checks that hold with certainty rather than
+// statistically — and prints a PASS/FAIL report:
+//
+//   - Table 1 and the Figure 1 decomposition, with BFS optimality;
+//   - exhaustive single-fault tolerance of the Figure 2 recovery, the
+//     Figure 7 1D recovery, the complete level-1 logical gate, and
+//     multi-cycle storage;
+//   - locality of every near-neighbor circuit, and the exact schedule
+//     counts of §3.1–3.2;
+//   - the fault audits of the three local cycles (perpendicular 2D clean;
+//     parallel 2D and 1D failing only on data-crossing routing ops);
+//   - footnote 4's entropy values (3/2 bits via MAJ⁻¹, 2 bits via Toffoli).
+//
+// Exit status is nonzero if any check fails.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/code"
+	"revft/internal/cooling"
+	"revft/internal/core"
+	"revft/internal/gate"
+	"revft/internal/irrev"
+	"revft/internal/lattice"
+	"revft/internal/noise"
+	"revft/internal/sim"
+	"revft/internal/synth"
+	"revft/internal/threshold"
+)
+
+type check struct {
+	name string
+	run  func() error
+}
+
+func main() {
+	failed := 0
+	for _, c := range checks() {
+		if err := c.run(); err != nil {
+			fmt.Printf("FAIL  %-58s %v\n", c.name, err)
+			failed++
+		} else {
+			fmt.Printf("PASS  %s\n", c.name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall checks passed")
+}
+
+func checks() []check {
+	return []check{
+		{"Table 1: MAJ truth table matches the paper", checkTable1},
+		{"Figure 1: decomposition equivalent and BFS-optimal (3 gates)", checkFigure1},
+		{"Figure 2: recovery single-fault tolerant (exhaustive)", checkRecoveryFT},
+		{"Figure 2: recovery corrects any single input error", checkRecoveryCorrects},
+		{"Figure 3: level-1 logical gate single-fault tolerant (exhaustive)", checkLevel1FT},
+		{"Figure 3: emitted gate counts equal Γ_L", checkBlowup},
+		{"Storage: 3 recovery cycles single-fault tolerant (exhaustive)", checkMemoryFT},
+		{"Figure 4: 2D recovery fully local on the patch", checkRecovery2DLocal},
+		{"Figure 7: 1D recovery local, 13 ops, 9 SWAPs", checkRecovery1D},
+		{"Figure 7: 1D recovery single-fault tolerant (exhaustive)", checkRecovery1DFT},
+		{"§3.2: interleave schedule counts (45/24/12, movers 8+7+6, 10+8+6)", checkInterleaveCounts},
+		{"§3: cycle audits — perpendicular 2D clean; 1D and parallel 2D fail only on crossings", checkCycleAudits},
+		{"§3: per-codeword G = 40 for the 1D moving codeword", checkG40},
+		{"Thresholds: all six published ρ values", checkThresholds},
+		{"Table 2: hybrid ratios to two decimals", checkTable2},
+		{"§2.3: worked example (L = 2, 441, 81)", checkWorkedExample},
+		{"§4: footnote 4 — NAND at 3/2 bits via MAJ⁻¹, 2 bits via Toffoli", checkFootnote4},
+		{"§4: paper example L ≤ 2.3 at g = 10⁻², E = 11", checkEntropyExample},
+		{"Eq.1 looseness: exact two-fault c₂ ≪ 3·C(G,2), predicts MC crossover", checkPairAnalysis},
+		{"Cooling: BCS boost (3δ−δ³)/2 reproduced by the circuit", checkCooling},
+	}
+}
+
+func checkPairAnalysis() error {
+	g := core.NewGadget(gate.MAJ, 1)
+	c2 := g.QuadraticCoefficient()
+	bound := 3 * threshold.Choose(threshold.GNonLocalInit, 2)
+	if c2 <= 0 || c2 >= bound {
+		return fmt.Errorf("c₂ = %v vs bound %v", c2, bound)
+	}
+	malignant, total := g.MalignantPairs()
+	if malignant == 0 || malignant >= total/2 {
+		return fmt.Errorf("malignant pairs %d of %d", malignant, total)
+	}
+	return nil
+}
+
+func checkCooling() error {
+	c := cooling.BCS(0, 1, 2)
+	for _, delta := range []float64{0.1, 0.5} {
+		q := (1 + delta) / 2
+		p0 := 0.0
+		for in := uint64(0); in < 8; in++ {
+			w := 1.0
+			for b := 0; b < 3; b++ {
+				if in>>uint(b)&1 == 0 {
+					w *= q
+				} else {
+					w *= 1 - q
+				}
+			}
+			if c.Eval(in)&1 == 0 {
+				p0 += w
+			}
+		}
+		if got, want := 2*p0-1, cooling.Boost(delta); math.Abs(got-want) > 1e-12 {
+			return fmt.Errorf("δ=%v: circuit %v vs formula %v", delta, got, want)
+		}
+	}
+	return nil
+}
+
+func checkTable1() error {
+	paper := map[uint64]uint64{
+		0b000: 0b000, 0b100: 0b100, 0b010: 0b010, 0b110: 0b111,
+		0b001: 0b110, 0b101: 0b011, 0b011: 0b101, 0b111: 0b001,
+	}
+	for in, want := range paper {
+		if got := gate.MAJ.Eval(in); got != want {
+			return fmt.Errorf("MAJ(%03b) = %03b, want %03b", in, got, want)
+		}
+	}
+	return nil
+}
+
+func checkFigure1() error {
+	dec := circuit.New(3).CNOT(0, 1).CNOT(0, 2).Toffoli(1, 2, 0)
+	if !dec.EquivalentTo(circuit.New(3).MAJ(0, 1, 2)) {
+		return fmt.Errorf("decomposition not equivalent to MAJ")
+	}
+	set := synth.Placements(gate.CNOT, gate.Toffoli)
+	if n := synth.MinGateCount(synth.FromKind(gate.MAJ), set); n != 3 {
+		return fmt.Errorf("BFS minimum = %d, want 3", n)
+	}
+	return nil
+}
+
+func checkRecoveryFT() error {
+	c := core.Recovery()
+	for _, v := range []bool{false, true} {
+		var firstErr error
+		sim.ForEachSingleFault(c, func(op int, val uint64) {
+			if firstErr != nil {
+				return
+			}
+			st := bitvec.New(core.RecoveryWidth)
+			code.EncodeInto(st, core.RecoveryDataWires, v, 1)
+			sim.RunInjected(c, st, noise.NewPlan(noise.Injection{OpIndex: op, Value: val}))
+			if code.Decode(st, core.RecoveryOutputWires, 1) != v {
+				firstErr = fmt.Errorf("fault (op %d, val %03b) flipped logical %v", op, val, v)
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+func checkRecoveryCorrects() error {
+	c := core.Recovery()
+	for _, v := range []bool{false, true} {
+		for _, e := range core.RecoveryDataWires {
+			st := bitvec.New(core.RecoveryWidth)
+			code.EncodeInto(st, core.RecoveryDataWires, v, 1)
+			st.Flip(e)
+			c.Run(st)
+			for _, w := range core.RecoveryOutputWires {
+				if st.Get(w) != v {
+					return fmt.Errorf("input error at %d not corrected", e)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkLevel1FT() error {
+	g := core.NewGadget(gate.MAJ, 1)
+	for in := uint64(0); in < 8; in++ {
+		want := gate.MAJ.Eval(in)
+		var firstErr error
+		sim.ForEachSingleFault(g.Circuit, func(op int, val uint64) {
+			if firstErr != nil {
+				return
+			}
+			st := bitvec.New(g.Circuit.Width())
+			for i, wires := range g.In {
+				code.EncodeInto(st, wires, in>>uint(i)&1 == 1, 1)
+			}
+			sim.RunInjected(g.Circuit, st, noise.NewPlan(noise.Injection{OpIndex: op, Value: val}))
+			for i, wires := range g.Out {
+				if code.Decode(st, wires, 1) != (want>>uint(i)&1 == 1) {
+					firstErr = fmt.Errorf("input %03b, fault (op %d, val %03b)", in, op, val)
+				}
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+func checkBlowup() error {
+	for level, want := range map[int]int{0: 1, 1: 27, 2: 729} {
+		if got := core.NewGadget(gate.MAJ, level).Circuit.Len(); got != want {
+			return fmt.Errorf("level %d: %d ops, want %d", level, got, want)
+		}
+	}
+	return nil
+}
+
+func checkMemoryFT() error {
+	m := core.NewMemory(1, 3)
+	for _, v := range []bool{false, true} {
+		var firstErr error
+		sim.ForEachSingleFault(m.Circuit, func(op int, val uint64) {
+			if firstErr != nil {
+				return
+			}
+			st := bitvec.New(m.Circuit.Width())
+			code.EncodeInto(st, m.In, v, 1)
+			sim.RunInjected(m.Circuit, st, noise.NewPlan(noise.Injection{OpIndex: op, Value: val}))
+			if code.Decode(st, m.Out, 1) != v {
+				firstErr = fmt.Errorf("fault (op %d, val %03b)", op, val)
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+func checkRecovery2DLocal() error {
+	return lattice.CheckLocal(lattice.Recovery2D(), lattice.Patch2DLayout(), nil)
+}
+
+func checkRecovery1D() error {
+	c := lattice.Recovery1D()
+	if c.Len() != lattice.Recovery1DOps {
+		return fmt.Errorf("ops = %d, want %d", c.Len(), lattice.Recovery1DOps)
+	}
+	if n := lattice.Recovery1DSwapCount(); n != 9 {
+		return fmt.Errorf("swaps = %d, want 9", n)
+	}
+	return lattice.CheckLocal(c, lattice.Line{N: lattice.Recovery1DWidth}, lattice.InitExempt)
+}
+
+func checkRecovery1DFT() error {
+	c := lattice.Recovery1D()
+	for _, v := range []bool{false, true} {
+		var firstErr error
+		sim.ForEachSingleFault(c, func(op int, val uint64) {
+			if firstErr != nil {
+				return
+			}
+			st := bitvec.New(lattice.Recovery1DWidth)
+			code.EncodeInto(st, lattice.Recovery1DDataWires, v, 1)
+			sim.RunInjected(c, st, noise.NewPlan(noise.Injection{OpIndex: op, Value: val}))
+			if code.Decode(st, lattice.Recovery1DOutputWires, 1) != v {
+				firstErr = fmt.Errorf("fault (op %d, val %03b)", op, val)
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+func checkInterleaveCounts() error {
+	il := lattice.NewInterleave1D()
+	if len(il.Swaps) != 45 {
+		return fmt.Errorf("total swaps = %d", len(il.Swaps))
+	}
+	if n := il.SwapsTouching(2); n != 24 {
+		return fmt.Errorf("moving codeword touched by %d swaps, want 24", n)
+	}
+	if n := il.OpsTouching(2); n != 12 {
+		return fmt.Errorf("moving codeword SWAP3 ops = %d, want 12", n)
+	}
+	return nil
+}
+
+func checkCycleAudits() error {
+	perp := lattice.NewCycle2D(gate.MAJ).AuditSingleFaults()
+	if !perp.Tolerant() {
+		return fmt.Errorf("perpendicular 2D cycle has %d failures", len(perp.Failures))
+	}
+	for _, mk := range []struct {
+		name string
+		c    *lattice.Cycle
+	}{
+		{"1D", lattice.NewCycle1D(gate.MAJ)},
+		{"parallel 2D", lattice.NewCycle2DParallel(gate.MAJ)},
+	} {
+		audit := mk.c.AuditSingleFaults()
+		if audit.Tolerant() {
+			return fmt.Errorf("%s cycle unexpectedly clean — update EXPERIMENTS.md", mk.name)
+		}
+		crossing := mk.c.CrossingOps()
+		for op := range audit.VulnerableOps {
+			if !crossing[op] {
+				return fmt.Errorf("%s: op %d vulnerable but not a routing crossing", mk.name, op)
+			}
+		}
+	}
+	return nil
+}
+
+func checkG40() error {
+	c := lattice.NewCycle1D(gate.MAJ)
+	if got := c.CountPerCodeword(2); got != threshold.G1DInit {
+		return fmt.Errorf("per-codeword count = %d, want %d", got, threshold.G1DInit)
+	}
+	return nil
+}
+
+func checkThresholds() error {
+	want := map[int]float64{11: 165, 9: 108, 16: 360, 14: 273, 40: 2340, 38: 2109}
+	for g, denom := range want {
+		if got := 1 / threshold.Threshold(g); math.Abs(got-denom) > 1e-6 {
+			return fmt.Errorf("G=%d: 1/ρ = %v, want %v", g, got, denom)
+		}
+	}
+	return nil
+}
+
+func checkTable2() error {
+	want := []float64{0.13, 0.36, 0.60, 0.77, 0.88, 0.94}
+	for i, row := range threshold.Table2() {
+		if math.Abs(row.Ratio-want[i]) > 0.005 {
+			return fmt.Errorf("k=%d: ratio %v, want %v", row.K, row.Ratio, want[i])
+		}
+	}
+	return nil
+}
+
+func checkWorkedExample() error {
+	rho := threshold.Threshold(threshold.GNonLocal)
+	l, err := threshold.RequiredLevels(1e6, rho/10, threshold.GNonLocal)
+	if err != nil || l != 2 {
+		return fmt.Errorf("RequiredLevels = %d, %v", l, err)
+	}
+	if g := threshold.GateBlowup(threshold.GNonLocal, 2); g != 441 {
+		return fmt.Errorf("gate blowup %v, want 441", g)
+	}
+	if s := threshold.SizeBlowup(2); s != 81 {
+		return fmt.Errorf("size blowup %v, want 81", s)
+	}
+	return nil
+}
+
+func checkFootnote4() error {
+	maj := irrev.NANDViaMAJInv()
+	tof := irrev.NANDViaToffoli()
+	if !maj.Correct() || !tof.Correct() {
+		return fmt.Errorf("a construction does not compute NAND")
+	}
+	if h := maj.GarbageEntropy(); math.Abs(h-1.5) > 1e-12 {
+		return fmt.Errorf("MAJ⁻¹ garbage entropy %v, want 3/2", h)
+	}
+	if h := tof.GarbageEntropy(); math.Abs(h-2) > 1e-12 {
+		return fmt.Errorf("Toffoli garbage entropy %v, want 2", h)
+	}
+	return nil
+}
+
+func checkEntropyExample() error {
+	// entropy.MaxLevels(1e-2, 11) ≈ 2.317
+	got := math.Log(1/1e-2)/math.Log(33) + 1
+	if math.Abs(got-2.317) > 0.01 {
+		return fmt.Errorf("max levels = %v", got)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Adder: run the paper's flagship MAJ application — the Cuccaro reversible
+// ripple-carry adder (reference [4]) — on unreliable gates, bare and
+// fault-tolerantly encoded.
+//
+// The 4-bit adder is a 17-gate reversible module. At a physical error rate
+// of 2·10⁻³ the bare module fails a few percent of the time (≈ 1−(1−g)^T),
+// while the level-1 fault-tolerant compilation — 27× more gates, 9× more
+// bits — pushes the failure rate down by more than an order of magnitude.
+package main
+
+import (
+	"fmt"
+
+	"revft"
+)
+
+func main() {
+	const n = 4
+	logical, layout := revft.NewAdder(n)
+	fmt.Printf("Cuccaro %d-bit adder: %d gates on %d wires\n\n", n, logical.GateCount(), logical.Width())
+	fmt.Println(logical.Render())
+
+	// One exact addition, noiselessly.
+	const a, b = 11, 7
+	st := revft.NewState(layout.Width())
+	for i := 0; i < n; i++ {
+		st.Set(layout.A[i], a>>uint(i)&1 == 1)
+		st.Set(layout.B[i], b>>uint(i)&1 == 1)
+	}
+	logical.Run(st)
+	sum := readSum(st, layout)
+	fmt.Printf("noiseless check: %d + %d = %d\n\n", a, b, sum)
+
+	// Compile to a fault-tolerant module at level 1.
+	mod := revft.CompileModule(logical, 1)
+	fmt.Printf("level-1 FT compilation: %d physical ops on %d bits (%d× gates, %d× bits)\n\n",
+		mod.Physical.GateCount(), mod.Physical.Width(),
+		mod.Physical.GateCount()/logical.GateCount(),
+		mod.Physical.Width()/logical.Width())
+
+	var in uint64
+	for i := 0; i < n; i++ {
+		in |= uint64(a>>uint(i)&1) << uint(layout.A[i])
+		in |= uint64(b>>uint(i)&1) << uint(layout.B[i])
+	}
+
+	fmt.Printf("%-10s  %-22s  %-22s\n", "g", "bare adder error", "FT level-1 error")
+	const trials = 60000
+	for i, g := range []float64{5e-4, 2e-3, 5e-3} {
+		m := revft.UniformNoise(g)
+		bare := revft.MonteCarlo(trials, 0, uint64(10+i), func(r *revft.RNG) bool {
+			s := revft.StateFromUint(in, logical.Width())
+			revft.RunNoisy(logical, s, m, r)
+			return s.Uint(0, logical.Width()) != logical.Eval(in)
+		})
+		ft := mod.ErrorRate(in, m, trials, 0, uint64(20+i))
+		fmt.Printf("%-10.0e  %-22s  %-22s\n", g, bare.String(), ft.String())
+	}
+
+	fmt.Println()
+	fmt.Println("The FT compilation trades a constant-factor blowup (Γ = 27 per gate,")
+	fmt.Println("9 bits per bit at level 1) for a quadratically suppressed error rate —")
+	fmt.Println("the trade the paper quantifies in §2.3.")
+}
+
+func readSum(st *revft.State, l revft.AdderLayout) uint64 {
+	var sum uint64
+	for i := 0; i < l.N; i++ {
+		if st.Get(l.B[i]) {
+			sum |= 1 << uint(i)
+		}
+	}
+	if st.Get(l.Cout) {
+		sum |= 1 << uint(l.N)
+	}
+	return sum
+}

@@ -1,0 +1,58 @@
+// Entropybudget: how much heat must a noisy reversible computer dissipate?
+//
+// Reversible logic promises (near-)zero energy per operation — but errors
+// force bit resets, and Landauer's principle prices every reset bit at
+// k·T·ln2. This program works through the paper's §4 for a concrete
+// machine: per-gate entropy bounds, the measured ancilla entropy of a real
+// recovery cycle, the Landauer heat bill for a large module, and the
+// concatenation depth at which reversibility stops paying.
+package main
+
+import (
+	"fmt"
+
+	"revft"
+)
+
+func main() {
+	const (
+		g     = 1e-3 // physical gate error rate
+		tempK = 300  // room temperature
+		e     = 8    // recovery gates per cycle (E, init counted)
+	)
+
+	fmt.Println("Entropy budget of a noisy reversible computer (paper §4)")
+	fmt.Printf("gate error rate g = %.0e, T = %d K\n\n", g, tempK)
+
+	// Per-cycle bounds and measurement.
+	lower := revft.BinaryEntropy(g / 2)
+	upper := revft.EntropyUpperBound(g, 27, 1)
+	measured := revft.MeasuredRecoveryEntropy(g, 2_000_000, 1)
+	fmt.Println("entropy exported per recovery cycle (bits):")
+	fmt.Printf("  lower bound  H(g/2)      = %.3e\n", lower)
+	fmt.Printf("  measured     (2M cycles) = %.3e\n", measured)
+	fmt.Printf("  upper bound  G̃·κ·√g      = %.3e\n\n", upper)
+
+	// The heat bill for a big module.
+	const logicalGates = 1e6
+	perGate := measured * 27 / 8 // scale cycle entropy to a full level-1 logical gate (27 ops vs 8)
+	joules := revft.LandauerHeat(perGate*logicalGates, tempK)
+	fmt.Printf("a %.0e-gate module at level 1 exports ≈ %.2e bits ⇒ ≥ %.2e J by Landauer\n\n",
+		logicalGates, perGate*logicalGates, joules)
+
+	// Compare against irreversible simulation: NAND at 3/2 bits per gate.
+	irrev := revft.LandauerHeat(1.5*logicalGates, tempK)
+	fmt.Printf("the same module built from NAND-simulating Toffolis: ≥ %.2e J (3/2 bits per gate)\n", irrev)
+	fmt.Printf("reversible advantage at this error rate: %.0f× less heat\n\n", irrev/joules)
+
+	// Where the advantage dies: the depth limit.
+	fmt.Println("concatenation depth limit for O(1) entropy per gate, L ≤ log(1/g)/log(3E)+1:")
+	for _, gg := range []float64{1e-2, 1e-3, 1e-4, 1e-6} {
+		fmt.Printf("  g = %-8.0e L ≤ %.2f\n", gg, revft.MaxEntropyLevels(gg, e))
+	}
+	fmt.Println()
+	fmt.Printf("paper's example: g = 10⁻², E = 11 gives L ≤ %.1f\n", revft.MaxEntropyLevels(1e-2, 11))
+	fmt.Println()
+	fmt.Println("Both entropy bounds grow exponentially in L at fixed g: near threshold,")
+	fmt.Println("error correction consumes the entropic savings reversibility bought.")
+}

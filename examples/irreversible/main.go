@@ -1,0 +1,67 @@
+// Irreversible: run ordinary (irreversible) logic on a reversible computer.
+//
+// Two constructions from the paper:
+//
+//  1. Bennett's compute-copy-uncompute compilation (the paper's reference
+//     [2]) turns any combinational netlist into a garbage-free reversible
+//     circuit — with perfect gates, nothing ever needs erasing.
+//  2. When gates must be reused every cycle, garbage must be reset, and
+//     footnote 4 prices a NAND at 3/2 bits of entropy — achieved by the
+//     MAJ⁻¹ gate, beating the naive Toffoli construction's 2 bits.
+package main
+
+import (
+	"fmt"
+
+	"revft"
+)
+
+func main() {
+	fmt.Println("Running irreversible logic reversibly")
+	fmt.Println()
+
+	// --- Bennett compilation ---
+	net := revft.RippleAdderNetlist(4)
+	compiled, err := revft.CompileNetlist(net)
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	fmt.Printf("4-bit irreversible adder: %d gates → reversible: %d ops on %d wires (garbage-free)\n",
+		len(net.Gates), compiled.Circuit.GateCount(), compiled.Circuit.Width())
+
+	// Add 11 + 7 through the compiled circuit.
+	const a, b = 11, 7
+	st := revft.NewState(compiled.Circuit.Width())
+	for i := 0; i < 4; i++ {
+		st.Set(compiled.InputWires[i], a>>uint(i)&1 == 1)
+		st.Set(compiled.InputWires[4+i], b>>uint(i)&1 == 1)
+	}
+	compiled.Circuit.Run(st)
+	var sum uint64
+	for j, w := range compiled.OutputWires {
+		if st.Get(w) {
+			sum |= 1 << uint(j)
+		}
+	}
+	clean := true
+	for _, w := range compiled.WorkWires {
+		clean = clean && !st.Get(w)
+	}
+	fmt.Printf("%d + %d = %d; all %d work wires restored to 0: %v\n\n",
+		a, b, sum, len(compiled.WorkWires), clean)
+
+	// --- Footnote 4: the entropy price of a reusable NAND ---
+	fmt.Println("Reusable NAND constructions (footnote 4):")
+	fmt.Printf("%-14s  %-14s  %s\n", "construction", "entropy (exact)", "measured (500k samples)")
+	for _, c := range []*revft.NANDConstruction{revft.NANDViaToffoli(), revft.NANDViaMAJInv()} {
+		fmt.Printf("%-14s  %-14.4f  %.4f\n",
+			c.Name, c.GarbageEntropy(), c.MeasuredGarbageEntropy(500000, 1))
+	}
+	fmt.Printf("\noptimum for equally likely inputs: %.1f bits — achieved by MAJ⁻¹, as the paper claims.\n",
+		revft.OptimalNANDEntropy)
+
+	// The heat this saves, per Landauer, at room temperature:
+	saved := revft.LandauerHeat(2.0-revft.OptimalNANDEntropy, 300)
+	fmt.Printf("per NAND per cycle at 300 K, MAJ⁻¹ saves ≥ %.2e J over the Toffoli construction.\n", saved)
+}

@@ -1,0 +1,3 @@
+module revft
+
+go 1.22

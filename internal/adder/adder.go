@@ -1,0 +1,126 @@
+// Package adder implements the reversible ripple-carry adder of Cuccaro,
+// Draper, Kutin and Moulton — the paper's reference [4] and its flagship
+// application of the MAJ gate ("MAJ appears to be a valuable gate for
+// reversible and quantum computers", footnote 2).
+//
+// The adder computes (a, b) → (a, a+b) in place using one ancilla (the
+// incoming carry) and one carry-out wire. The forward ripple applies the
+// paper's own MAJ gate — identical to Cuccaro's MAJ — leaving each a-wire
+// holding the next carry; the reverse ripple applies UMA (UnMajority-and-Add)
+// gates that restore a and deposit the sum bits into b.
+package adder
+
+import (
+	"fmt"
+
+	"revft/internal/circuit"
+)
+
+// Layout describes the wire assignment of an n-bit adder circuit.
+type Layout struct {
+	N int
+	// A[i] and B[i] are the wires of the i-th operand bits (LSB first).
+	A, B []int
+	// Cin is the incoming-carry ancilla (must be 0 for plain addition).
+	Cin int
+	// Cout receives the carry out of the top bit.
+	Cout int
+}
+
+// Width returns the adder's total wire count: 2n + 2.
+func (l Layout) Width() int { return 2*l.N + 2 }
+
+// NewLayout returns the standard layout: a on wires [0,n), b on [n,2n),
+// carry-in on 2n, carry-out on 2n+1.
+func NewLayout(n int) Layout {
+	if n < 1 {
+		panic("adder: need at least one bit")
+	}
+	l := Layout{N: n, A: make([]int, n), B: make([]int, n), Cin: 2 * n, Cout: 2*n + 1}
+	for i := 0; i < n; i++ {
+		l.A[i] = i
+		l.B[i] = n + i
+	}
+	return l
+}
+
+// New builds the n-bit Cuccaro adder: after running it on a state with
+// a, b on the layout's wires and Cin = 0, the b wires hold (a+b) mod 2^n,
+// Cout holds the carry, and a and Cin are restored.
+func New(n int) (*circuit.Circuit, Layout) {
+	l := NewLayout(n)
+	c := circuit.New(l.Width())
+
+	carry := func(i int) int {
+		if i == 0 {
+			return l.Cin
+		}
+		return l.A[i-1]
+	}
+
+	// Forward ripple: Cuccaro's MAJ(c, b, a) is exactly the paper's MAJ
+	// gate with target order (a, b, c) — flip b and c if a, then flip a if
+	// b and c — leaving a_i holding carry_{i+1}.
+	for i := 0; i < n; i++ {
+		c.MAJ(l.A[i], l.B[i], carry(i))
+	}
+	// Copy out the top carry.
+	c.CNOT(l.A[n-1], l.Cout)
+	// Reverse ripple: UMA(c, b, a) = Toffoli(c,b → a); CNOT(a → c);
+	// CNOT(c → b). Restores a_i and the carry chain, and sets
+	// b_i = a_i ⊕ b_i ⊕ c_i (the sum bit).
+	for i := n - 1; i >= 0; i-- {
+		c.Toffoli(carry(i), l.B[i], l.A[i])
+		c.CNOT(l.A[i], carry(i))
+		c.CNOT(carry(i), l.B[i])
+	}
+	return c, l
+}
+
+// GateCount returns the number of gate applications in an n-bit adder:
+// n MAJ + 1 CNOT + 3n UMA primitives = 4n + 1.
+func GateCount(n int) int { return 4*n + 1 }
+
+// Encode writes operands a and b onto a zeroed state according to the
+// layout. It panics if either operand does not fit in n bits.
+func Encode(st interface {
+	Set(int, bool)
+}, l Layout, a, b uint64) {
+	if l.N < 64 && (a >= 1<<uint(l.N) || b >= 1<<uint(l.N)) {
+		panic(fmt.Sprintf("adder: operands %d, %d exceed %d bits", a, b, l.N))
+	}
+	for i := 0; i < l.N; i++ {
+		st.Set(l.A[i], a>>uint(i)&1 == 1)
+		st.Set(l.B[i], b>>uint(i)&1 == 1)
+	}
+}
+
+// Decode reads the sum (including the carry bit as the top bit) from a state
+// after the adder has run.
+func Decode(st interface {
+	Get(int) bool
+}, l Layout) uint64 {
+	var sum uint64
+	for i := 0; i < l.N; i++ {
+		if st.Get(l.B[i]) {
+			sum |= 1 << uint(i)
+		}
+	}
+	if st.Get(l.Cout) {
+		sum |= 1 << uint(l.N)
+	}
+	return sum
+}
+
+// OperandA reads back the a operand (which the adder must restore).
+func OperandA(st interface {
+	Get(int) bool
+}, l Layout) uint64 {
+	var a uint64
+	for i := 0; i < l.N; i++ {
+		if st.Get(l.A[i]) {
+			a |= 1 << uint(i)
+		}
+	}
+	return a
+}

@@ -1,0 +1,156 @@
+package adder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"revft/internal/bitvec"
+	"revft/internal/gate"
+)
+
+func TestExhaustiveSmall(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		c, l := New(n)
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			for b := uint64(0); b < 1<<uint(n); b++ {
+				st := bitvec.New(l.Width())
+				Encode(st, l, a, b)
+				c.Run(st)
+				if got, want := Decode(st, l), a+b; got != want {
+					t.Fatalf("n=%d: %d+%d = %d, want %d", n, a, b, got, want)
+				}
+				if got := OperandA(st, l); got != a {
+					t.Fatalf("n=%d: operand a not restored: %d -> %d", n, a, got)
+				}
+				if st.Get(l.Cin) {
+					t.Fatalf("n=%d: carry-in ancilla not restored", n)
+				}
+			}
+		}
+	}
+}
+
+func TestGateCount(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		c, _ := New(n)
+		if got, want := c.GateCount(), GateCount(n); got != want {
+			t.Fatalf("n=%d: %d gates, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGateCensusUsesPaperMAJ(t *testing.T) {
+	c, _ := New(8)
+	counts := c.CountByKind()
+	if counts[gate.MAJ] != 8 {
+		t.Fatalf("MAJ count = %d, want 8", counts[gate.MAJ])
+	}
+	if counts[gate.Toffoli] != 8 {
+		t.Fatalf("Toffoli count = %d, want 8", counts[gate.Toffoli])
+	}
+	if counts[gate.CNOT] != 17 { // 1 carry copy + 2 per UMA
+		t.Fatalf("CNOT count = %d, want 17", counts[gate.CNOT])
+	}
+}
+
+func TestReversibility(t *testing.T) {
+	c, l := New(4)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := bitvec.New(l.Width())
+	Encode(st, l, 11, 7)
+	before := st.Clone()
+	c.Run(st)
+	inv.Run(st)
+	if !st.Equal(before) {
+		t.Fatal("adder followed by its inverse is not the identity")
+	}
+}
+
+// TestSubtraction: running the inverse adder on (a, s) recovers b = s − a —
+// the standard reversible-subtractor trick.
+func TestSubtraction(t *testing.T) {
+	c, l := New(4)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a, b = 9, 13
+	st := bitvec.New(l.Width())
+	Encode(st, l, a, b)
+	c.Run(st) // b wires now hold a+b (mod 16), Cout the carry
+	inv.Run(st)
+	// Back to the original operands.
+	if got := OperandA(st, l); got != a {
+		t.Fatalf("a = %d after round trip", got)
+	}
+	var gotB uint64
+	for i := 0; i < l.N; i++ {
+		if st.Get(l.B[i]) {
+			gotB |= 1 << uint(i)
+		}
+	}
+	if gotB != b {
+		t.Fatalf("b = %d after round trip, want %d", gotB, b)
+	}
+}
+
+func TestCarryChain(t *testing.T) {
+	// All-ones plus one: maximal carry propagation.
+	n := 16
+	c, l := New(n)
+	st := bitvec.New(l.Width())
+	a := uint64(1<<uint(n)) - 1
+	Encode(st, l, a, 1)
+	c.Run(st)
+	if got, want := Decode(st, l), a+1; got != want {
+		t.Fatalf("carry chain: got %d, want %d", got, want)
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLayout(0) did not panic")
+		}
+	}()
+	NewLayout(0)
+}
+
+func TestEncodePanicsOnOverflow(t *testing.T) {
+	_, l := New(3)
+	st := bitvec.New(l.Width())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized operand accepted")
+		}
+	}()
+	Encode(st, l, 8, 0)
+}
+
+// Property: for random operands at n = 16, the adder computes a+b and
+// restores a.
+func TestPropRandomOperands(t *testing.T) {
+	c, l := New(16)
+	f := func(a, b uint16) bool {
+		st := bitvec.New(l.Width())
+		Encode(st, l, uint64(a), uint64(b))
+		c.Run(st)
+		return Decode(st, l) == uint64(a)+uint64(b) && OperandA(st, l) == uint64(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdder16(b *testing.B) {
+	c, l := New(16)
+	st := bitvec.New(l.Width())
+	Encode(st, l, 12345, 54321)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(st)
+	}
+}

@@ -1,0 +1,284 @@
+// Package bennett implements Bennett's reversible simulation of
+// irreversible logic (the paper's reference [2], "Logical reversibility of
+// computation", 1973) — the construction that makes the paper's premise
+// work: any classical computation can be run on reversible gates without
+// thermodynamically mandatory erasure.
+//
+// An irreversible combinational netlist (AND/OR/XOR/NAND/NOR/NOT over
+// primary inputs) is compiled in three phases:
+//
+//  1. compute — every gate writes its result into a fresh zeroed work wire
+//     using Toffoli/CNOT/NOT constructions;
+//  2. copy — the designated outputs are CNOT-copied onto fresh output
+//     wires;
+//  3. uncompute — phase 1 runs in reverse, restoring every work wire to 0
+//     and every input to its original value.
+//
+// The compiled circuit is garbage-free: after execution only the output
+// copies differ from their initial state, so (with perfect gates) no bits
+// need resetting and no Landauer heat is mandatory.
+package bennett
+
+import (
+	"fmt"
+
+	"revft/internal/circuit"
+)
+
+// GateType is an irreversible boolean gate.
+type GateType int
+
+// The supported irreversible gates.
+const (
+	AND GateType = iota + 1
+	OR
+	XOR
+	NAND
+	NOR
+	NOT
+)
+
+// String returns the gate name.
+func (g GateType) String() string {
+	switch g {
+	case AND:
+		return "AND"
+	case OR:
+		return "OR"
+	case XOR:
+		return "XOR"
+	case NAND:
+		return "NAND"
+	case NOR:
+		return "NOR"
+	case NOT:
+		return "NOT"
+	default:
+		return fmt.Sprintf("GateType(%d)", int(g))
+	}
+}
+
+// arity returns the number of inputs the gate reads.
+func (g GateType) arity() int {
+	if g == NOT {
+		return 1
+	}
+	return 2
+}
+
+// eval applies the gate to its inputs.
+func (g GateType) eval(a, b bool) bool {
+	switch g {
+	case AND:
+		return a && b
+	case OR:
+		return a || b
+	case XOR:
+		return a != b
+	case NAND:
+		return !(a && b)
+	case NOR:
+		return !(a || b)
+	case NOT:
+		return !a
+	default:
+		panic(fmt.Sprintf("bennett: invalid gate %d", int(g)))
+	}
+}
+
+// NetGate is one gate of a netlist. A and B index signals: signals
+// 0..Inputs-1 are primary inputs and signal Inputs+i is the output of gate
+// i. B is ignored for NOT.
+type NetGate struct {
+	Type GateType
+	A, B int
+}
+
+// Net is an irreversible combinational circuit.
+type Net struct {
+	// Inputs is the number of primary inputs.
+	Inputs int
+	// Gates run in order; gate i may read any earlier signal.
+	Gates []NetGate
+	// Outputs lists the signals exposed as results.
+	Outputs []int
+}
+
+// Validate checks signal indices and topological order.
+func (n *Net) Validate() error {
+	if n.Inputs < 0 {
+		return fmt.Errorf("bennett: negative input count")
+	}
+	for i, g := range n.Gates {
+		limit := n.Inputs + i
+		if g.A < 0 || g.A >= limit {
+			return fmt.Errorf("bennett: gate %d reads out-of-order signal %d", i, g.A)
+		}
+		if g.Type.arity() == 2 && (g.B < 0 || g.B >= limit) {
+			return fmt.Errorf("bennett: gate %d reads out-of-order signal %d", i, g.B)
+		}
+		if !(g.Type >= AND && g.Type <= NOT) {
+			return fmt.Errorf("bennett: gate %d has invalid type", i)
+		}
+	}
+	total := n.Inputs + len(n.Gates)
+	if len(n.Outputs) == 0 {
+		return fmt.Errorf("bennett: no outputs")
+	}
+	for _, o := range n.Outputs {
+		if o < 0 || o >= total {
+			return fmt.Errorf("bennett: output signal %d out of range", o)
+		}
+	}
+	return nil
+}
+
+// Eval computes the netlist directly (irreversibly) on packed inputs
+// (input i in bit i) and returns the packed outputs (output j in bit j).
+func (n *Net) Eval(in uint64) uint64 {
+	signals := make([]bool, n.Inputs+len(n.Gates))
+	for i := 0; i < n.Inputs; i++ {
+		signals[i] = in>>uint(i)&1 == 1
+	}
+	for i, g := range n.Gates {
+		var b bool
+		if g.Type.arity() == 2 {
+			b = signals[g.B]
+		}
+		signals[n.Inputs+i] = g.Type.eval(signals[g.A], b)
+	}
+	var out uint64
+	for j, o := range n.Outputs {
+		if signals[o] {
+			out |= 1 << uint(j)
+		}
+	}
+	return out
+}
+
+// Compiled is the reversible form of a netlist.
+type Compiled struct {
+	// Net is the source.
+	Net *Net
+	// Circuit is the reversible compute-copy-uncompute circuit.
+	Circuit *circuit.Circuit
+	// InputWires carry the primary inputs (restored after execution).
+	InputWires []int
+	// OutputWires receive copies of the outputs (must start zero).
+	OutputWires []int
+	// WorkWires are the per-gate scratch wires (start and end zero).
+	WorkWires []int
+}
+
+// Compile performs Bennett's construction. Wire layout: inputs first, then
+// one work wire per gate, then one output wire per output.
+func Compile(n *Net) (*Compiled, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nw := n.Inputs + len(n.Gates) + len(n.Outputs)
+	c := circuit.New(nw)
+
+	// signalWire maps a net signal to the wire holding it during the
+	// compute phase: inputs in place, gate outputs on their work wires.
+	signalWire := func(s int) int { return s } // signals happen to map 1:1
+
+	compute := circuit.New(nw)
+	for i, g := range n.Gates {
+		w := n.Inputs + i
+		a := signalWire(g.A)
+		b := 0
+		if g.Type.arity() == 2 {
+			b = signalWire(g.B)
+		}
+		emitGate(compute, g.Type, a, b, w)
+	}
+
+	// Phase 1: compute.
+	c.Compose(compute)
+	// Phase 2: copy outputs.
+	for j, o := range n.Outputs {
+		c.CNOT(signalWire(o), n.Inputs+len(n.Gates)+j)
+	}
+	// Phase 3: uncompute.
+	inv, err := compute.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("bennett: compute phase not reversible: %w", err)
+	}
+	c.Compose(inv)
+
+	cp := &Compiled{
+		Net:         n,
+		Circuit:     c,
+		InputWires:  make([]int, n.Inputs),
+		OutputWires: make([]int, len(n.Outputs)),
+		WorkWires:   make([]int, len(n.Gates)),
+	}
+	for i := range cp.InputWires {
+		cp.InputWires[i] = i
+	}
+	for i := range cp.WorkWires {
+		cp.WorkWires[i] = n.Inputs + i
+	}
+	for j := range cp.OutputWires {
+		cp.OutputWires[j] = n.Inputs + len(n.Gates) + j
+	}
+	return cp, nil
+}
+
+// emitGate writes the reversible implementation of one irreversible gate
+// into a zeroed target wire w. Two-input gates whose inputs are the same
+// signal degenerate: AND(x,x) = OR(x,x) = x, NAND(x,x) = NOR(x,x) = ¬x,
+// XOR(x,x) = 0.
+func emitGate(c *circuit.Circuit, g GateType, a, b, w int) {
+	if g.arity() == 2 && a == b {
+		switch g {
+		case AND, OR:
+			c.CNOT(a, w)
+		case NAND, NOR:
+			c.CNOT(a, w)
+			c.NOT(w)
+		case XOR:
+			// Constant zero: the work wire already holds it.
+		}
+		return
+	}
+	switch g {
+	case AND:
+		c.Toffoli(a, b, w)
+	case NAND:
+		c.Toffoli(a, b, w)
+		c.NOT(w)
+	case OR:
+		// OR(a,b) = ¬(¬a ∧ ¬b)
+		c.NOT(a)
+		c.NOT(b)
+		c.Toffoli(a, b, w)
+		c.NOT(w)
+		c.NOT(a)
+		c.NOT(b)
+	case NOR:
+		c.NOT(a)
+		c.NOT(b)
+		c.Toffoli(a, b, w)
+		c.NOT(a)
+		c.NOT(b)
+	case XOR:
+		c.CNOT(a, w)
+		c.CNOT(b, w)
+	case NOT:
+		c.CNOT(a, w)
+		c.NOT(w)
+	default:
+		panic(fmt.Sprintf("bennett: invalid gate %d", int(g)))
+	}
+}
+
+// GateOverhead returns the number of reversible ops emitted per
+// irreversible gate type (compute phase only; the uncompute phase doubles
+// it).
+func GateOverhead(g GateType) int {
+	c := circuit.New(3)
+	emitGate(c, g, 0, 1, 2)
+	return c.Len()
+}

@@ -1,0 +1,241 @@
+package bennett
+
+import (
+	"testing"
+	"testing/quick"
+
+	"revft/internal/bitvec"
+	"revft/internal/rng"
+)
+
+// runCompiled executes the reversible form on packed inputs and returns the
+// packed outputs plus whether the circuit was garbage-free (inputs restored,
+// work wires zero).
+func runCompiled(t *testing.T, cp *Compiled, in uint64) (out uint64, clean bool) {
+	t.Helper()
+	st := bitvec.New(cp.Circuit.Width())
+	for i, w := range cp.InputWires {
+		st.Set(w, in>>uint(i)&1 == 1)
+	}
+	cp.Circuit.Run(st)
+	clean = true
+	for i, w := range cp.InputWires {
+		if st.Get(w) != (in>>uint(i)&1 == 1) {
+			clean = false
+		}
+	}
+	for _, w := range cp.WorkWires {
+		if st.Get(w) {
+			clean = false
+		}
+	}
+	for j, w := range cp.OutputWires {
+		if st.Get(w) {
+			out |= 1 << uint(j)
+		}
+	}
+	return out, clean
+}
+
+func testNetCompiles(t *testing.T, n *Net, name string) {
+	t.Helper()
+	cp, err := Compile(n)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for in := uint64(0); in < 1<<uint(n.Inputs); in++ {
+		got, clean := runCompiled(t, cp, in)
+		if want := n.Eval(in); got != want {
+			t.Fatalf("%s(%b): reversible %b, irreversible %b", name, in, got, want)
+		}
+		if !clean {
+			t.Fatalf("%s(%b): garbage left behind", name, in)
+		}
+	}
+}
+
+func TestFullAdderNet(t *testing.T) {
+	n := FullAdderNet()
+	// Direct evaluation sanity first.
+	for in := uint64(0); in < 8; in++ {
+		a, b, cin := in&1, in>>1&1, in>>2&1
+		want := a + b + cin
+		got := n.Eval(in)
+		if got&1 != want&1 || got>>1 != want>>1 {
+			t.Fatalf("full adder eval(%03b) = %02b, want sum=%d", in, got, want)
+		}
+	}
+	testNetCompiles(t, n, "full adder")
+}
+
+func TestMajorityNet(t *testing.T) {
+	n := MajorityNet()
+	for in := uint64(0); in < 8; in++ {
+		ones := in&1 + in>>1&1 + in>>2&1
+		want := uint64(0)
+		if ones >= 2 {
+			want = 1
+		}
+		if got := n.Eval(in); got != want {
+			t.Fatalf("majority eval(%03b) = %b, want %b", in, got, want)
+		}
+	}
+	testNetCompiles(t, n, "majority")
+}
+
+func TestParityNet(t *testing.T) {
+	for _, bits := range []int{2, 3, 5} {
+		n := ParityNet(bits)
+		for in := uint64(0); in < 1<<uint(bits); in++ {
+			want := uint64(0)
+			for i := 0; i < bits; i++ {
+				want ^= in >> uint(i) & 1
+			}
+			if got := n.Eval(in); got != want {
+				t.Fatalf("parity%d eval(%b) = %b, want %b", bits, in, got, want)
+			}
+		}
+		testNetCompiles(t, n, "parity")
+	}
+}
+
+func TestMuxNet(t *testing.T) {
+	n := MuxNet()
+	for in := uint64(0); in < 8; in++ {
+		sel, a, b := in&1 == 1, in>>1&1, in>>2&1
+		want := a
+		if sel {
+			want = b
+		}
+		if got := n.Eval(in); got != want {
+			t.Fatalf("mux eval(%03b) = %b, want %b", in, got, want)
+		}
+	}
+	testNetCompiles(t, n, "mux")
+}
+
+func TestRippleAdderNet(t *testing.T) {
+	const bits = 3
+	n := RippleAdderNet(bits)
+	for a := uint64(0); a < 1<<bits; a++ {
+		for b := uint64(0); b < 1<<bits; b++ {
+			in := a | b<<bits
+			if got, want := n.Eval(in), a+b; got != want {
+				t.Fatalf("adder eval: %d+%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	testNetCompiles(t, n, "ripple adder")
+}
+
+func TestValidateRejectsBadNets(t *testing.T) {
+	bad := []*Net{
+		{Inputs: 2, Gates: []NetGate{{Type: AND, A: 0, B: 2}}, Outputs: []int{2}}, // forward ref
+		{Inputs: 2, Gates: []NetGate{{Type: AND, A: -1, B: 0}}, Outputs: []int{2}},
+		{Inputs: 2, Gates: []NetGate{{Type: GateType(99), A: 0, B: 1}}, Outputs: []int{2}},
+		{Inputs: 2, Outputs: []int{5}}, // output out of range
+		{Inputs: 2},                    // no outputs
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad net %d validated", i)
+		}
+		if _, err := Compile(n); err == nil {
+			t.Errorf("bad net %d compiled", i)
+		}
+	}
+}
+
+// TestCompiledIsReversible: the compiled circuit composed with its inverse
+// is the identity, and it contains no Init3.
+func TestCompiledIsReversible(t *testing.T) {
+	cp, err := Compile(FullAdderNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := cp.Circuit.Inverse()
+	if err != nil {
+		t.Fatalf("compiled circuit not reversible: %v", err)
+	}
+	for in := uint64(0); in < 16; in++ {
+		if got := inv.Eval(cp.Circuit.Eval(in)); got != in {
+			t.Fatalf("inverse round trip failed on %b", in)
+		}
+	}
+}
+
+// TestGateOverheads pins the per-gate reversible cost.
+func TestGateOverheads(t *testing.T) {
+	want := map[GateType]int{AND: 1, NAND: 2, XOR: 2, NOT: 2, OR: 6, NOR: 5}
+	for g, w := range want {
+		if got := GateOverhead(g); got != w {
+			t.Errorf("%s overhead = %d, want %d", g, got, w)
+		}
+	}
+}
+
+// Property: random well-formed netlists compile to equivalent, garbage-free
+// reversible circuits.
+func TestPropRandomNetlists(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		inputs := 2 + r.Intn(4)
+		ngates := 1 + r.Intn(10)
+		net := &Net{Inputs: inputs}
+		types := []GateType{AND, OR, XOR, NAND, NOR, NOT}
+		for i := 0; i < ngates; i++ {
+			limit := inputs + i
+			net.Gates = append(net.Gates, NetGate{
+				Type: types[r.Intn(len(types))],
+				A:    r.Intn(limit),
+				B:    r.Intn(limit),
+			})
+		}
+		// Expose the last few signals.
+		total := inputs + ngates
+		for j := 0; j < 1+r.Intn(3); j++ {
+			net.Outputs = append(net.Outputs, total-1-j%total)
+		}
+		if err := net.Validate(); err != nil {
+			return false
+		}
+		cp, err := Compile(net)
+		if err != nil {
+			return false
+		}
+		for in := uint64(0); in < 1<<uint(inputs); in++ {
+			st := bitvec.New(cp.Circuit.Width())
+			for i, w := range cp.InputWires {
+				st.Set(w, in>>uint(i)&1 == 1)
+			}
+			cp.Circuit.Run(st)
+			var out uint64
+			for j, w := range cp.OutputWires {
+				if st.Get(w) {
+					out |= 1 << uint(j)
+				}
+			}
+			if out != net.Eval(in) {
+				return false
+			}
+			for _, w := range cp.WorkWires {
+				if st.Get(w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompileRippleAdder8(b *testing.B) {
+	n := RippleAdderNet(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

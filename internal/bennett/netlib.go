@@ -1,0 +1,115 @@
+package bennett
+
+// A small library of standard netlists, used by examples and tests.
+
+// FullAdderNet returns a 1-bit full adder: inputs (a, b, cin), outputs
+// (sum, cout).
+func FullAdderNet() *Net {
+	// Signals: 0=a 1=b 2=cin
+	// 3 = a XOR b
+	// 4 = s3 XOR cin      (sum)
+	// 5 = a AND b
+	// 6 = s3 AND cin
+	// 7 = s5 OR s6        (cout)
+	return &Net{
+		Inputs: 3,
+		Gates: []NetGate{
+			{Type: XOR, A: 0, B: 1},
+			{Type: XOR, A: 3, B: 2},
+			{Type: AND, A: 0, B: 1},
+			{Type: AND, A: 3, B: 2},
+			{Type: OR, A: 5, B: 6},
+		},
+		Outputs: []int{4, 7},
+	}
+}
+
+// MajorityNet returns the 3-input majority function as NAND logic.
+func MajorityNet() *Net {
+	// maj(a,b,c) = ¬(¬(a∧b) ∧ ¬(a∧c) ∧ ¬(b∧c)) via NANDs:
+	// 3 = NAND(a,b); 4 = NAND(a,c); 5 = NAND(b,c)
+	// 6 = NAND(3,4); hmm three-way: 7 = NAND(3,5)... use AND/NOT instead:
+	// 6 = AND(3,4); 7 = AND(6,5); 8 = NOT(7)
+	return &Net{
+		Inputs: 3,
+		Gates: []NetGate{
+			{Type: NAND, A: 0, B: 1},
+			{Type: NAND, A: 0, B: 2},
+			{Type: NAND, A: 1, B: 2},
+			{Type: AND, A: 3, B: 4},
+			{Type: AND, A: 6, B: 5},
+			{Type: NOT, A: 7},
+		},
+		Outputs: []int{8},
+	}
+}
+
+// ParityNet returns the n-input parity function (XOR chain).
+func ParityNet(n int) *Net {
+	if n < 2 {
+		panic("bennett: parity needs at least 2 inputs")
+	}
+	net := &Net{Inputs: n}
+	prev := 0
+	for i := 1; i < n; i++ {
+		net.Gates = append(net.Gates, NetGate{Type: XOR, A: prev, B: i})
+		prev = n + i - 1
+	}
+	net.Outputs = []int{prev}
+	return net
+}
+
+// MuxNet returns a 2:1 multiplexer: inputs (sel, a, b), output
+// sel ? b : a.
+func MuxNet() *Net {
+	// 3 = NOT sel; 4 = a AND s3; 5 = b AND sel; 6 = 4 OR 5
+	return &Net{
+		Inputs: 3,
+		Gates: []NetGate{
+			{Type: NOT, A: 0},
+			{Type: AND, A: 1, B: 3},
+			{Type: AND, A: 2, B: 0},
+			{Type: OR, A: 4, B: 5},
+		},
+		Outputs: []int{6},
+	}
+}
+
+// RippleAdderNet returns an n-bit ripple-carry adder as a netlist: inputs
+// a0..a(n-1), b0..b(n-1); outputs s0..s(n-1), carry.
+func RippleAdderNet(n int) *Net {
+	if n < 1 {
+		panic("bennett: adder needs at least 1 bit")
+	}
+	net := &Net{Inputs: 2 * n}
+	sig := 2 * n // next signal index
+	carry := -1  // no carry into bit 0
+	var outs []int
+	for i := 0; i < n; i++ {
+		a, b := i, n+i
+		if carry < 0 {
+			// Half adder for bit 0.
+			net.Gates = append(net.Gates,
+				NetGate{Type: XOR, A: a, B: b}, // sum
+				NetGate{Type: AND, A: a, B: b}, // carry
+			)
+			outs = append(outs, sig)
+			carry = sig + 1
+			sig += 2
+			continue
+		}
+		// Full adder.
+		net.Gates = append(net.Gates,
+			NetGate{Type: XOR, A: a, B: b},            // sig: t = a^b
+			NetGate{Type: XOR, A: sig, B: carry},      // sig+1: sum
+			NetGate{Type: AND, A: a, B: b},            // sig+2: g = ab
+			NetGate{Type: AND, A: sig, B: carry},      // sig+3: p = t·cin
+			NetGate{Type: OR, A: sig + 2, B: sig + 3}, // sig+4: cout
+		)
+		outs = append(outs, sig+1)
+		carry = sig + 4
+		sig += 5
+	}
+	net.Outputs = append(outs, carry)
+	return net
+}

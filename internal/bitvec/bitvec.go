@@ -1,0 +1,193 @@
+// Package bitvec implements packed bit vectors.
+//
+// A Vector is the machine state of the simulated reversible computer: one
+// bit per wire, packed 64 to a word. All mutating operations are in-place;
+// Clone produces an independent copy.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-width vector of bits. The zero value is an empty vector;
+// use New to create one with a given width.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative width")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBits returns a vector whose bit i equals vals[i].
+func FromBits(vals []bool) *Vector {
+	v := New(len(vals))
+	for i, b := range vals {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromUint returns an n-bit vector holding the low n bits of x, bit 0 first.
+func FromUint(x uint64, n int) *Vector {
+	if n > wordBits {
+		panic("bitvec: FromUint width exceeds 64")
+	}
+	v := New(n)
+	if n > 0 {
+		mask := ^uint64(0)
+		if n < wordBits {
+			mask = (uint64(1) << uint(n)) - 1
+		}
+		v.words[0] = x & mask
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// Set assigns bit i.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	mask := uint64(1) << (uint(i) % wordBits)
+	if b {
+		v.words[i/wordBits] |= mask
+	} else {
+		v.words[i/wordBits] &^= mask
+	}
+}
+
+// Flip inverts bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= uint64(1) << (uint(i) % wordBits)
+}
+
+// Swap exchanges bits i and j.
+func (v *Vector) Swap(i, j int) {
+	bi, bj := v.Get(i), v.Get(j)
+	if bi != bj {
+		v.Flip(i)
+		v.Flip(j)
+	}
+}
+
+// Uint returns bits [lo, lo+n) as an integer with bit lo in position 0.
+// It panics if n > 64 or the range is out of bounds.
+func (v *Vector) Uint(lo, n int) uint64 {
+	if n < 0 || n > wordBits {
+		panic("bitvec: Uint width out of range")
+	}
+	var x uint64
+	for k := 0; k < n; k++ {
+		if v.Get(lo + k) {
+			x |= 1 << uint(k)
+		}
+	}
+	return x
+}
+
+// SetUint stores the low n bits of x into bits [lo, lo+n).
+func (v *Vector) SetUint(lo, n int, x uint64) {
+	if n < 0 || n > wordBits {
+		panic("bitvec: SetUint width out of range")
+	}
+	for k := 0; k < n; k++ {
+		v.Set(lo+k, x>>uint(k)&1 == 1)
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear zeroes every bit.
+func (v *Vector) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of src. Both must have equal width.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n {
+		panic("bitvec: CopyFrom width mismatch")
+	}
+	copy(v.words, src.words)
+}
+
+// Equal reports whether v and w have the same width and contents.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HammingDistance returns the number of bit positions where v and w differ.
+// It panics on width mismatch.
+func (v *Vector) HammingDistance(w *Vector) int {
+	if v.n != w.n {
+		panic("bitvec: HammingDistance width mismatch")
+	}
+	d := 0
+	for i := range v.words {
+		d += bits.OnesCount64(v.words[i] ^ w.words[i])
+	}
+	return d
+}
+
+// String renders the bits with bit 0 leftmost, e.g. "0110".
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}

@@ -1,0 +1,249 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 129, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("New(%d).Len() = %d", n, v.Len())
+		}
+		if v.OnesCount() != 0 {
+			t.Fatalf("New(%d) not all zero", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d initially set", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Flip", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d clear after double Flip... single", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Set(false)", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, f := range map[string]func(){
+		"Get(-1)":  func() { v.Get(-1) },
+		"Get(10)":  func() { v.Get(10) },
+		"Set(10)":  func() { v.Set(10, true) },
+		"Flip(-1)": func() { v.Flip(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSwap(t *testing.T) {
+	v := New(4)
+	v.Set(1, true)
+	v.Swap(1, 3)
+	if v.Get(1) || !v.Get(3) {
+		t.Fatalf("after Swap: %s", v)
+	}
+	v.Swap(3, 3)
+	if !v.Get(3) {
+		t.Fatal("Swap with self changed bit")
+	}
+	v.Set(1, true)
+	v.Swap(1, 3) // both set: no change
+	if !v.Get(1) || !v.Get(3) {
+		t.Fatalf("Swap of equal bits changed state: %s", v)
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	v := New(70)
+	v.SetUint(3, 9, 0x155)
+	if got := v.Uint(3, 9); got != 0x155 {
+		t.Fatalf("Uint = %#x, want 0x155", got)
+	}
+	// Neighboring bits untouched.
+	if v.Get(2) || v.Get(12) {
+		t.Fatal("SetUint leaked outside its range")
+	}
+	// Overwrite with a narrower value clears old bits in range.
+	v.SetUint(3, 9, 0)
+	if got := v.Uint(3, 9); got != 0 {
+		t.Fatalf("Uint after clear = %#x", got)
+	}
+}
+
+func TestFromUint(t *testing.T) {
+	v := FromUint(0b1011, 4)
+	want := []bool{true, true, false, true}
+	for i, w := range want {
+		if v.Get(i) != w {
+			t.Fatalf("FromUint bit %d = %v, want %v", i, v.Get(i), w)
+		}
+	}
+	if v.String() != "1101" {
+		t.Fatalf("String = %q, want 1101", v.String())
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v := FromBits([]bool{true, false, true})
+	if v.Len() != 3 || !v.Get(0) || v.Get(1) || !v.Get(2) {
+		t.Fatalf("FromBits wrong: %s", v)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromUint(0b111, 3)
+	w := v.Clone()
+	w.Flip(0)
+	if !v.Get(0) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if v.Equal(w) {
+		t.Fatal("Equal true after divergence")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v, w := New(5), FromUint(0b10101, 5)
+	v.CopyFrom(w)
+	if !v.Equal(w) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom width mismatch did not panic")
+		}
+	}()
+	v.CopyFrom(New(6))
+}
+
+func TestEqualWidthMismatch(t *testing.T) {
+	if New(3).Equal(New(4)) {
+		t.Fatal("vectors of different width compared equal")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	v := FromUint(0b1010, 4)
+	w := FromUint(0b0110, 4)
+	if d := v.HammingDistance(w); d != 2 {
+		t.Fatalf("HammingDistance = %d, want 2", d)
+	}
+	if d := v.HammingDistance(v); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestOnesCountAcrossWords(t *testing.T) {
+	v := New(200)
+	idx := []int{0, 63, 64, 127, 128, 199}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	if got := v.OnesCount(); got != len(idx) {
+		t.Fatalf("OnesCount = %d, want %d", got, len(idx))
+	}
+	v.Clear()
+	if v.OnesCount() != 0 {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestStringWidth(t *testing.T) {
+	if s := New(0).String(); s != "" {
+		t.Fatalf("empty vector String = %q", s)
+	}
+	if s := New(3).String(); s != "000" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: FromUint then Uint is the identity on the low n bits.
+func TestPropUintRoundTrip(t *testing.T) {
+	f := func(x uint64, nRaw uint8) bool {
+		n := int(nRaw % 65)
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = (uint64(1) << uint(n)) - 1
+		}
+		if n == 0 {
+			mask = 0
+		}
+		v := New(n)
+		v.SetUint(0, n, x)
+		return v.Uint(0, n) == x&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: double Flip is the identity.
+func TestPropDoubleFlip(t *testing.T) {
+	f := func(x uint64, iRaw uint8) bool {
+		v := FromUint(x, 64)
+		i := int(iRaw % 64)
+		before := v.Get(i)
+		v.Flip(i)
+		v.Flip(i)
+		return v.Get(i) == before && v.Equal(FromUint(x, 64))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Swap twice is the identity.
+func TestPropDoubleSwap(t *testing.T) {
+	f := func(x uint64, iRaw, jRaw uint8) bool {
+		v := FromUint(x, 64)
+		i, j := int(iRaw%64), int(jRaw%64)
+		v.Swap(i, j)
+		v.Swap(i, j)
+		return v.Equal(FromUint(x, 64))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGetSet(b *testing.B) {
+	v := New(1024)
+	for i := 0; i < b.N; i++ {
+		v.Set(i%1024, !v.Get(i%1024))
+	}
+}

@@ -1,0 +1,304 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"revft/internal/bitvec"
+	"revft/internal/gate"
+)
+
+func TestAppendValidation(t *testing.T) {
+	c := New(3)
+	for name, f := range map[string]func(){
+		"arity":     func() { c.Append(gate.CNOT, 0) },
+		"range":     func() { c.Append(gate.NOT, 3) },
+		"negative":  func() { c.Append(gate.NOT, -1) },
+		"duplicate": func() { c.Append(gate.CNOT, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s violation did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed appends left ops behind")
+	}
+}
+
+func TestBuildersAndRun(t *testing.T) {
+	c := New(3).NOT(0).CNOT(0, 1).Toffoli(0, 1, 2)
+	st := bitvec.New(3)
+	c.Run(st)
+	// NOT sets q0; CNOT copies to q1; Toffoli sets q2.
+	if st.String() != "111" {
+		t.Fatalf("state = %s, want 111", st)
+	}
+	if c.GateCount() != 3 {
+		t.Fatalf("GateCount = %d", c.GateCount())
+	}
+}
+
+func TestEvalMatchesRun(t *testing.T) {
+	c := New(3).MAJ(0, 1, 2)
+	for in := uint64(0); in < 8; in++ {
+		if got, want := c.Eval(in), gate.MAJ.Eval(in); got != want {
+			t.Errorf("Eval(%03b) = %03b, want %03b", in, got, want)
+		}
+	}
+}
+
+func TestEvalTargetOrderMatters(t *testing.T) {
+	// MAJ(2,1,0) treats wire 2 as the gate's first bit.
+	c := New(3).MAJ(2, 1, 0)
+	in := uint64(0b001) // wire0=1 -> gate bit2=1
+	got := c.Eval(in)
+	// gate input: b0=wire2=0, b1=wire1=0, b2=wire0=1 -> local 100_2=4 -> MAJ(4)
+	want := gate.MAJ.Eval(4)
+	// unpack: local bit0 -> wire2, bit1 -> wire1, bit2 -> wire0
+	wantWires := want>>2&1 | want>>1&1<<1 | want&1<<2
+	if got != wantWires {
+		t.Fatalf("Eval = %03b, want %03b", got, wantWires)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	c := New(4).MAJ(0, 1, 2).CNOT(3, 0).Swap3(1, 2, 3).Toffoli(0, 1, 3)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for in := uint64(0); in < 16; in++ {
+		if got := inv.Eval(c.Eval(in)); got != in {
+			t.Fatalf("inverse failed: c(%04b) -> inv -> %04b", in, got)
+		}
+	}
+}
+
+func TestInverseRejectsInit3(t *testing.T) {
+	c := New(3).Init3(0, 1, 2)
+	if _, err := c.Inverse(); err == nil {
+		t.Fatal("Inverse of Init3 circuit did not error")
+	}
+}
+
+func TestComposeAndRemap(t *testing.T) {
+	a := New(2).CNOT(0, 1)
+	b := New(4).Compose(a)
+	if b.Len() != 1 {
+		t.Fatal("Compose missed op")
+	}
+	b.Remap(a, func(w int) int { return w + 2 })
+	if b.Len() != 2 {
+		t.Fatal("Remap missed op")
+	}
+	got := b.Op(1)
+	if got.Targets[0] != 2 || got.Targets[1] != 3 {
+		t.Fatalf("Remap targets = %v", got.Targets)
+	}
+	// Ops are deep copies: mutating a afterwards must not affect b.
+	a.NOT(0)
+	if b.Len() != 2 {
+		t.Fatal("Compose aliased the source ops slice")
+	}
+}
+
+func TestComposeWidthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose wider-into-narrower did not panic")
+		}
+	}()
+	New(2).Compose(New(3))
+}
+
+func TestMoments(t *testing.T) {
+	// CNOT(0,1) and CNOT(2,3) are disjoint -> same moment; CNOT(1,2) must
+	// come after both.
+	c := New(4).CNOT(0, 1).CNOT(2, 3).CNOT(1, 2)
+	m := c.Moments()
+	if len(m) != 2 {
+		t.Fatalf("Depth = %d, want 2", len(m))
+	}
+	if len(m[0]) != 2 || len(m[1]) != 1 {
+		t.Fatalf("moment sizes %d,%d", len(m[0]), len(m[1]))
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("Depth() = %d", c.Depth())
+	}
+}
+
+func TestMomentsPreserveSemantics(t *testing.T) {
+	// Flattening the moment schedule back to a circuit reproduces the
+	// original function.
+	c := New(5).MAJ(0, 1, 2).CNOT(1, 3).Swap(3, 4).Toffoli(0, 3, 4).CNOT(4, 0)
+	flat := New(5)
+	for _, ops := range c.Moments() {
+		for _, o := range ops {
+			flat.Append(o.Kind, o.Targets...)
+		}
+	}
+	if !c.EquivalentTo(flat) {
+		t.Fatal("moment scheduling changed semantics")
+	}
+}
+
+func TestCountByKindAndCountOn(t *testing.T) {
+	c := New(3).MAJ(0, 1, 2).MAJInv(0, 1, 2).CNOT(0, 1)
+	counts := c.CountByKind()
+	if counts[gate.MAJ] != 1 || counts[gate.MAJInv] != 1 || counts[gate.CNOT] != 1 {
+		t.Fatalf("CountByKind = %v", counts)
+	}
+	if c.CountOn(0) != 3 || c.CountOn(2) != 2 {
+		t.Fatalf("CountOn: %d, %d", c.CountOn(0), c.CountOn(2))
+	}
+}
+
+func TestPermutationIsBijectionForReversible(t *testing.T) {
+	c := New(3).MAJ(0, 1, 2).Swap3(0, 1, 2).CNOT(2, 0)
+	p := c.Permutation()
+	seen := make(map[uint64]bool)
+	for _, o := range p {
+		if seen[o] {
+			t.Fatal("reversible circuit permutation repeats an output")
+		}
+		seen[o] = true
+	}
+}
+
+func TestEquivalentTo(t *testing.T) {
+	// Figure 1: MAJ equals CNOT,CNOT,Toffoli.
+	maj := New(3).MAJ(0, 1, 2)
+	dec := New(3).CNOT(0, 1).CNOT(0, 2).Toffoli(1, 2, 0)
+	if !maj.EquivalentTo(dec) {
+		t.Fatal("Figure 1 decomposition not equivalent to MAJ")
+	}
+	other := New(3).CNOT(0, 1)
+	if maj.EquivalentTo(other) {
+		t.Fatal("distinct circuits reported equivalent")
+	}
+	if maj.EquivalentTo(New(4)) {
+		t.Fatal("different widths reported equivalent")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := New(2).CNOT(0, 1)
+	d := c.Clone()
+	d.NOT(0)
+	if c.Len() != 1 || d.Len() != 2 {
+		t.Fatal("Clone shares op storage")
+	}
+}
+
+func TestRunWidthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on narrow state did not panic")
+		}
+	}()
+	New(3).Run(bitvec.New(2))
+}
+
+func TestOpString(t *testing.T) {
+	o := Op{Kind: gate.MAJ, Targets: []int{0, 3, 6}}
+	if got := o.String(); got != "MAJ(0,3,6)" {
+		t.Fatalf("Op.String = %q", got)
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	c := New(3).CNOT(0, 1).CNOT(0, 2).Toffoli(1, 2, 0)
+	s := c.Render()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render has %d lines, want 3:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "•") || !strings.Contains(s, "⊕") {
+		t.Fatalf("render missing control/target glyphs:\n%s", s)
+	}
+	if !strings.HasPrefix(lines[0], "q0") {
+		t.Fatalf("missing wire labels:\n%s", s)
+	}
+}
+
+func TestRenderLabeled(t *testing.T) {
+	c := New(2).CNOT(0, 1)
+	s := c.RenderLabeled([]string{"data", "anc=|0⟩"})
+	if !strings.Contains(s, "data") || !strings.Contains(s, "anc=|0⟩") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+}
+
+func TestRenderVerticalSpan(t *testing.T) {
+	// A CNOT from wire 0 to wire 2 must draw a connector on wire 1.
+	c := New(3).CNOT(0, 2)
+	s := c.Render()
+	lines := strings.Split(s, "\n")
+	if !strings.Contains(lines[1], "│") {
+		t.Fatalf("no vertical connector on spanned wire:\n%s", s)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	s := New(2).Render()
+	if !strings.Contains(s, "q0") || !strings.Contains(s, "q1") {
+		t.Fatalf("empty render missing wires:\n%s", s)
+	}
+}
+
+// Property: circuit followed by its inverse is the identity on random inputs
+// for randomly generated reversible circuits.
+func TestPropInverseIdentity(t *testing.T) {
+	f := func(seed uint64, opsRaw []uint16, input uint16) bool {
+		const w = 8
+		c := New(w)
+		kinds := []gate.Kind{gate.NOT, gate.CNOT, gate.SWAP, gate.Toffoli, gate.Fredkin, gate.MAJ, gate.MAJInv, gate.SWAP3}
+		for _, r := range opsRaw {
+			k := kinds[int(r)%len(kinds)]
+			t0 := int(r>>3) % w
+			t1 := (t0 + 1 + int(r>>6)%(w-1)) % w
+			t2 := t1
+			for t2 == t0 || t2 == t1 {
+				t2 = (t2 + 1) % w
+			}
+			switch k.Arity() {
+			case 1:
+				c.Append(k, t0)
+			case 2:
+				c.Append(k, t0, t1)
+			case 3:
+				c.Append(k, t0, t1, t2)
+			}
+		}
+		inv, err := c.Inverse()
+		if err != nil {
+			return false
+		}
+		in := uint64(input) & 0xff // circuits are 8 wires wide
+		return inv.Eval(c.Eval(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	c := New(9)
+	for i := 0; i < 3; i++ {
+		c.MAJInv(i, i+3, i+6)
+	}
+	for i := 0; i < 3; i++ {
+		c.MAJ(3*i, 3*i+1, 3*i+2)
+	}
+	st := bitvec.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(st)
+	}
+}

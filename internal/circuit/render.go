@@ -1,0 +1,145 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"revft/internal/gate"
+)
+
+// Render draws the circuit as an ASCII gate array in the paper's notation:
+// one row per wire (space on the y-axis), one column per moment (time on the
+// x-axis, flowing left to right). Controls are '•', flipped bits '⊕',
+// swapped bits '×', boxed gates show their name on their first target, and
+// vertical bars connect the wires a multi-bit gate spans.
+func (c *Circuit) Render() string {
+	return c.RenderLabeled(nil)
+}
+
+// RenderLabeled is Render with per-wire labels (e.g. "q3=|0⟩"). A nil or
+// short slice falls back to "qN" labels.
+func (c *Circuit) RenderLabeled(labels []string) string {
+	moments := c.Moments()
+	rows := make([][]string, c.width)
+	for w := range rows {
+		rows[w] = make([]string, len(moments))
+	}
+
+	for m, ops := range moments {
+		for _, o := range ops {
+			syms := opSymbols(o)
+			lo, hi := o.Targets[0], o.Targets[0]
+			for _, t := range o.Targets {
+				if t < lo {
+					lo = t
+				}
+				if t > hi {
+					hi = t
+				}
+			}
+			for i, t := range o.Targets {
+				rows[t][m] = syms[i]
+			}
+			// Connect the span on wires the gate does not touch.
+			for w := lo + 1; w < hi; w++ {
+				if rows[w][m] == "" {
+					rows[w][m] = "│"
+				}
+			}
+		}
+	}
+
+	// Column widths.
+	widths := make([]int, len(moments))
+	for m := range widths {
+		for w := 0; w < c.width; w++ {
+			if n := runeLen(rows[w][m]); n > widths[m] {
+				widths[m] = n
+			}
+		}
+		if widths[m] == 0 {
+			widths[m] = 1
+		}
+	}
+
+	labelFor := func(w int) string {
+		if w < len(labels) && labels[w] != "" {
+			return labels[w]
+		}
+		return fmt.Sprintf("q%d", w)
+	}
+	labelWidth := 0
+	for w := 0; w < c.width; w++ {
+		if n := runeLen(labelFor(w)); n > labelWidth {
+			labelWidth = n
+		}
+	}
+
+	var b strings.Builder
+	for w := 0; w < c.width; w++ {
+		b.WriteString(padRight(labelFor(w), labelWidth))
+		b.WriteString(" ")
+		for m := range moments {
+			b.WriteString("─")
+			b.WriteString(centerOnWire(rows[w][m], widths[m]))
+			b.WriteString("─")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// opSymbols returns the symbol drawn on each target wire of the op, indexed
+// like Targets.
+func opSymbols(o Op) []string {
+	switch o.Kind {
+	case gate.NOT:
+		return []string{"X"}
+	case gate.CNOT:
+		return []string{"•", "⊕"}
+	case gate.SWAP:
+		return []string{"×", "×"}
+	case gate.Toffoli:
+		return []string{"•", "•", "⊕"}
+	case gate.Fredkin:
+		return []string{"•", "×", "×"}
+	case gate.MAJ:
+		return []string{"MAJ", "•", "•"}
+	case gate.MAJInv:
+		return []string{"MAJ⁻¹", "•", "•"}
+	case gate.SWAP3:
+		// Figure 5's picture: two swaps sharing the middle wire.
+		return []string{"×", "××", "×"}
+	case gate.SWAP3Inv:
+		return []string{"×", "××", "×"} // drawn the same; direction is in the kind
+	case gate.Init3:
+		return []string{"|0⟩", "|0⟩", "|0⟩"}
+	default:
+		syms := make([]string, len(o.Targets))
+		for i := range syms {
+			syms[i] = "?"
+		}
+		return syms
+	}
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+func padRight(s string, w int) string {
+	for runeLen(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// centerOnWire centers s in a field of width w, filling spare space with the
+// wire glyph so the wire looks continuous.
+func centerOnWire(s string, w int) string {
+	if s == "" {
+		return strings.Repeat("─", w)
+	}
+	pad := w - runeLen(s)
+	left := pad / 2
+	right := pad - left
+	return strings.Repeat("─", left) + s + strings.Repeat("─", right)
+}

@@ -1,0 +1,98 @@
+package circuit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"revft/internal/gate"
+)
+
+// Marshal serializes the circuit into a line-oriented text format:
+//
+//	width 9
+//	INIT3(3,4,5)
+//	MAJ⁻¹(0,3,6)
+//	...
+//
+// Blank lines and lines starting with '#' are comments on input. The format
+// round-trips through Parse.
+func (c *Circuit) Marshal() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "width %d\n", c.width)
+	for _, o := range c.ops {
+		b.WriteString(o.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Parse reads a circuit in Marshal's format. Gate names accept the ASCII
+// aliases MAJ-1 and SWAP3-1 for the superscript forms.
+func Parse(s string) (*Circuit, error) {
+	var c *Circuit
+	for ln, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if c == nil {
+			var width int
+			if _, err := fmt.Sscanf(line, "width %d", &width); err != nil {
+				return nil, fmt.Errorf("circuit: line %d: expected \"width N\", got %q", ln+1, line)
+			}
+			if width < 0 {
+				return nil, fmt.Errorf("circuit: line %d: negative width", ln+1)
+			}
+			c = New(width)
+			continue
+		}
+		kind, targets, err := parseOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %w", ln+1, err)
+		}
+		if err := appendChecked(c, kind, targets); err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %w", ln+1, err)
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: empty input")
+	}
+	return c, nil
+}
+
+func parseOp(line string) (gate.Kind, []int, error) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return 0, nil, fmt.Errorf("malformed op %q", line)
+	}
+	name := line[:open]
+	kind, ok := gate.FromName(name)
+	if !ok {
+		return 0, nil, fmt.Errorf("unknown gate %q", name)
+	}
+	body := line[open+1 : len(line)-1]
+	parts := strings.Split(body, ",")
+	targets := make([]int, 0, len(parts))
+	for _, p := range parts {
+		t, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad target %q in %q", p, line)
+		}
+		targets = append(targets, t)
+	}
+	return kind, targets, nil
+}
+
+// appendChecked converts Append's panics (arity, range, duplicates) into
+// errors, which is the right contract when the input is external data
+// rather than programmer-constructed.
+func appendChecked(c *Circuit, kind gate.Kind, targets []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	c.Append(kind, targets...)
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package cooling implements reversible algorithmic cooling — the paper's
+// references [3, 5, 15] and the mechanism behind its §4 remark that when n
+// bits hold n·H bits of entropy, "reversible cooling schemes can ensure
+// that we only need to replace n·H of them with zero-entropy bits".
+//
+// The primitive is the basic compression subroutine (BCS) of Boykin, Mor,
+// Roychowdhury, Vatan & Vrijen (PNAS 2002): a reversible 3-bit operation —
+// one CNOT and one Fredkin gate, both in this library's gate set — that
+// concentrates polarization. If the three input bits are independent with
+// polarization δ (δ = P(0) − P(1)), the output's first bit has polarization
+//
+//	δ' = (3δ − δ³) / 2,
+//
+// a 3/2 boost for small δ, while the other two bits absorb the entropy.
+// Applying BCS recursively over 3^k bits boosts the coldest bit toward
+// (3/2)^k·δ (until the cubic term saturates), all with zero total entropy
+// change — the operations are reversible, entropy is only moved, never
+// destroyed.
+package cooling
+
+import (
+	"math"
+
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/rng"
+)
+
+// BCS returns the basic compression subroutine on wires (a, b, c): after
+// it runs, wire a is the cooled bit.
+//
+// Construction: CNOT(a → b) writes a⊕b onto b; then Fredkin(b; a, c) swaps
+// a and c when a and b disagreed. When a = b the pair was "already cold" and
+// a keeps its value; when a ≠ b the result is uninformative and a is
+// replaced by the fresh bit c.
+func BCS(a, b, c int) *circuit.Circuit {
+	width := maxInt(a, maxInt(b, c)) + 1
+	cc := circuit.New(width)
+	cc.CNOT(a, b)
+	cc.Fredkin(b, a, c)
+	return cc
+}
+
+// Boost returns the one-round polarization map δ' = (3δ − δ³)/2.
+func Boost(delta float64) float64 {
+	return (3*delta - delta*delta*delta) / 2
+}
+
+// BoostRounds applies the map k times (the idealized tree-cooling limit
+// with independent equally-polarized inputs at every level).
+func BoostRounds(delta float64, k int) float64 {
+	for i := 0; i < k; i++ {
+		delta = Boost(delta)
+	}
+	return delta
+}
+
+// PolarizationToEntropy converts a polarization δ to the bit's Shannon
+// entropy H((1−δ)/2) in bits.
+func PolarizationToEntropy(delta float64) float64 {
+	p := (1 - delta) / 2
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Tree is a recursive cooling tree over 3^depth bits: leaves are physical
+// bits, and each internal node BCSes the cooled outputs of its three
+// children, cooling bit 0 of the whole register.
+type Tree struct {
+	Depth   int
+	Circuit *circuit.Circuit
+	// Cold is the wire holding the coldest bit after execution.
+	Cold int
+}
+
+// NewTree builds the cooling circuit for 3^depth bits.
+func NewTree(depth int) *Tree {
+	if depth < 0 {
+		panic("cooling: negative depth")
+	}
+	n := 1
+	for i := 0; i < depth; i++ {
+		n *= 3
+	}
+	c := circuit.New(maxInt(n, 1))
+	cold := build(c, 0, n)
+	return &Tree{Depth: depth, Circuit: c, Cold: cold}
+}
+
+// build emits the cooling of the block [lo, lo+n) and returns the wire of
+// its cooled bit.
+func build(c *circuit.Circuit, lo, n int) int {
+	if n == 1 {
+		return lo
+	}
+	third := n / 3
+	a := build(c, lo, third)
+	b := build(c, lo+third, third)
+	d := build(c, lo+2*third, third)
+	c.CNOT(a, b)
+	c.Fredkin(b, a, d)
+	return a
+}
+
+// MeasureColdBias estimates, by simulation, the polarization of the tree's
+// cold bit when every input bit is independently 1 with probability
+// (1−delta)/2.
+func (t *Tree) MeasureColdBias(delta float64, trials int, seed uint64) float64 {
+	r := rng.New(seed)
+	p1 := (1 - delta) / 2
+	ones := 0
+	for i := 0; i < trials; i++ {
+		st := bitvec.New(t.Circuit.Width())
+		for w := 0; w < t.Circuit.Width(); w++ {
+			st.Set(w, r.Bool(p1))
+		}
+		t.Circuit.Run(st)
+		if st.Get(t.Cold) {
+			ones++
+		}
+	}
+	return 1 - 2*float64(ones)/float64(trials)
+}
+
+// ResetBudget returns the §4 accounting: to refresh n ancilla bits holding
+// per-bit entropy h, a reversible computer needs only about n·h fresh zero
+// bits (entropy can be compressed into that many bits and swapped out)
+// rather than n.
+func ResetBudget(n int, h float64) float64 {
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return float64(n) * h
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

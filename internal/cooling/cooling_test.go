@@ -1,0 +1,204 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/gate"
+)
+
+func TestBoostFormula(t *testing.T) {
+	tests := []struct {
+		delta, want float64
+	}{
+		{0, 0},
+		{1, 1},   // a perfectly cold bit stays cold
+		{-1, -1}, // and a perfectly hot one stays hot
+		{0.1, (0.3 - 0.001) / 2},
+	}
+	for _, tt := range tests {
+		if got := Boost(tt.delta); math.Abs(got-tt.want) > 1e-15 {
+			t.Errorf("Boost(%v) = %v, want %v", tt.delta, got, tt.want)
+		}
+	}
+	// Small-δ behavior: 3/2 boost.
+	if got := Boost(1e-6) / 1e-6; math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("small-δ boost factor = %v, want 1.5", got)
+	}
+}
+
+// TestBCSExactDistribution derives the boost formula from the circuit by
+// exact enumeration: over all 8 inputs weighted by independent bias, the
+// output bit's polarization must equal (3δ−δ³)/2.
+func TestBCSExactDistribution(t *testing.T) {
+	c := BCS(0, 1, 2)
+	for _, delta := range []float64{0, 0.1, 0.3, 0.7, 0.9} {
+		q := (1 + delta) / 2 // P(bit = 0)
+		p0 := 0.0
+		for in := uint64(0); in < 8; in++ {
+			w := 1.0
+			for b := 0; b < 3; b++ {
+				if in>>uint(b)&1 == 0 {
+					w *= q
+				} else {
+					w *= 1 - q
+				}
+			}
+			if c.Eval(in)&1 == 0 {
+				p0 += w
+			}
+		}
+		got := 2*p0 - 1
+		if want := Boost(delta); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("δ=%v: circuit polarization %v, formula %v", delta, got, want)
+		}
+	}
+}
+
+func TestBCSIsReversible(t *testing.T) {
+	c := BCS(0, 1, 2)
+	seen := make(map[uint64]bool)
+	for in := uint64(0); in < 8; in++ {
+		out := c.Eval(in)
+		if seen[out] {
+			t.Fatalf("BCS not injective at output %03b", out)
+		}
+		seen[out] = true
+	}
+	counts := c.CountByKind()
+	if counts[gate.CNOT] != 1 || counts[gate.Fredkin] != 1 {
+		t.Fatalf("BCS census = %v, want 1 CNOT + 1 Fredkin", counts)
+	}
+}
+
+// TestBCSEntropyConserved: the joint entropy of the three bits is unchanged
+// (reversible operations only move entropy).
+func TestBCSEntropyConserved(t *testing.T) {
+	c := BCS(0, 1, 2)
+	const delta = 0.4
+	q := (1 + delta) / 2
+	hIn, hOut := 0.0, 0.0
+	outProb := make(map[uint64]float64)
+	for in := uint64(0); in < 8; in++ {
+		w := 1.0
+		for b := 0; b < 3; b++ {
+			if in>>uint(b)&1 == 0 {
+				w *= q
+			} else {
+				w *= 1 - q
+			}
+		}
+		hIn -= w * math.Log2(w)
+		outProb[c.Eval(in)] += w
+	}
+	for _, w := range outProb {
+		hOut -= w * math.Log2(w)
+	}
+	if math.Abs(hIn-hOut) > 1e-12 {
+		t.Fatalf("entropy changed: %v -> %v", hIn, hOut)
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	for depth, wantWidth := range map[int]int{0: 1, 1: 3, 2: 9, 3: 27} {
+		tr := NewTree(depth)
+		if tr.Circuit.Width() != wantWidth {
+			t.Fatalf("depth %d: width %d, want %d", depth, tr.Circuit.Width(), wantWidth)
+		}
+		// (3^depth − 1)/2 BCS applications, 2 gates each.
+		wantOps := (wantWidth - 1) / 2 * 2
+		if got := tr.Circuit.Len(); got != wantOps {
+			t.Fatalf("depth %d: %d ops, want %d", depth, got, wantOps)
+		}
+		if tr.Cold != 0 {
+			t.Fatalf("depth %d: cold bit at %d, want 0", depth, tr.Cold)
+		}
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTree(-1) did not panic")
+		}
+	}()
+	NewTree(-1)
+}
+
+// TestTreeMeasuredBoost: the measured cold-bit polarization of a depth-k
+// tree matches the k-fold iterated map.
+func TestTreeMeasuredBoost(t *testing.T) {
+	const delta = 0.2
+	for depth := 1; depth <= 3; depth++ {
+		tr := NewTree(depth)
+		got := tr.MeasureColdBias(delta, 200000, uint64(depth))
+		want := BoostRounds(delta, depth)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("depth %d: measured polarization %v, want %v", depth, got, want)
+		}
+	}
+}
+
+func TestTreeColdBitIsColder(t *testing.T) {
+	// Entropy of the cold bit strictly decreases with depth (until
+	// saturation).
+	const delta = 0.3
+	prev := PolarizationToEntropy(delta)
+	for depth := 1; depth <= 4; depth++ {
+		h := PolarizationToEntropy(BoostRounds(delta, depth))
+		if h >= prev {
+			t.Fatalf("depth %d: cold-bit entropy %v did not decrease from %v", depth, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestPolarizationToEntropy(t *testing.T) {
+	if got := PolarizationToEntropy(0); got != 1 {
+		t.Fatalf("H at δ=0 is %v, want 1", got)
+	}
+	if got := PolarizationToEntropy(1); got != 0 {
+		t.Fatalf("H at δ=1 is %v, want 0", got)
+	}
+	if got := PolarizationToEntropy(-1); got != 0 {
+		t.Fatalf("H at δ=-1 is %v, want 0", got)
+	}
+}
+
+func TestResetBudget(t *testing.T) {
+	if got := ResetBudget(100, 0.25); got != 25 {
+		t.Fatalf("ResetBudget = %v, want 25", got)
+	}
+	if got := ResetBudget(10, -1); got != 0 {
+		t.Fatalf("clamped low = %v", got)
+	}
+	if got := ResetBudget(10, 2); got != 10 {
+		t.Fatalf("clamped high = %v", got)
+	}
+}
+
+func TestBCSWireFlexibility(t *testing.T) {
+	// BCS on non-contiguous wires still cools wire a.
+	c := BCS(4, 1, 3)
+	if c.Width() != 5 {
+		t.Fatalf("width = %d", c.Width())
+	}
+	st := bitvec.New(5)
+	// a=0,b=1 disagree: a takes c's value (1).
+	st.Set(1, true)
+	st.Set(3, true)
+	c.Run(st)
+	if !st.Get(4) {
+		t.Fatal("disagreeing pair did not take the fresh bit")
+	}
+}
+
+func BenchmarkTreeDepth3(b *testing.B) {
+	tr := NewTree(3)
+	st := bitvec.New(27)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Circuit.Run(st)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"revft/internal/circuit"
+	"revft/internal/code"
+	"revft/internal/gate"
+)
+
+// lbit is one logical bit in the concatenated construction. At level 0 it is
+// a physical wire. At level ℓ ≥ 1 it owns nine level-(ℓ−1) children backed
+// by a contiguous block of 9^ℓ wires: three currently serve as the data
+// code bits and six as recovery ancillas. Which children play which role
+// rotates after every recovery (the paper's footnote 3); the rotation is
+// pure bookkeeping — no physical operation.
+type lbit struct {
+	level int
+	wire  int      // level 0 only
+	data  [3]*lbit // level >= 1: current code bits
+	anc   [6]*lbit // level >= 1: current ancillas
+}
+
+// Builder emits flat physical circuits implementing logical gates on bits
+// encoded at a fixed concatenation level, following Figure 3: a gate at
+// level ℓ is the gate at level ℓ−1 applied transversally to the three code
+// bits, followed by an error-recovery cycle at level ℓ on every logical bit
+// it touched.
+type Builder struct {
+	level int
+	circ  *circuit.Circuit
+	bits  []*lbit
+}
+
+// NewBuilder allocates nbits logical bits at the given concatenation level.
+// Each logical bit occupies 9^level physical wires (the paper's size blowup
+// S_L = 9^L); the resulting circuit width is nbits·9^level.
+func NewBuilder(level, nbits int) *Builder {
+	if level < 0 {
+		panic("core: negative level")
+	}
+	if nbits <= 0 {
+		panic("core: need at least one logical bit")
+	}
+	footprint := 1
+	for i := 0; i < level; i++ {
+		footprint *= 9
+	}
+	b := &Builder{
+		level: level,
+		circ:  circuit.New(nbits * footprint),
+		bits:  make([]*lbit, nbits),
+	}
+	next := 0
+	for i := range b.bits {
+		b.bits[i] = buildTree(level, &next)
+	}
+	return b
+}
+
+func buildTree(level int, next *int) *lbit {
+	if level == 0 {
+		w := *next
+		*next++
+		return &lbit{wire: w}
+	}
+	lb := &lbit{level: level}
+	for i := 0; i < 3; i++ {
+		lb.data[i] = buildTree(level-1, next)
+	}
+	for i := 0; i < 6; i++ {
+		lb.anc[i] = buildTree(level-1, next)
+	}
+	return lb
+}
+
+// Level returns the concatenation level of the builder's logical bits.
+func (b *Builder) Level() int { return b.level }
+
+// Bits returns the number of logical bits.
+func (b *Builder) Bits() int { return len(b.bits) }
+
+// Circuit returns the physical circuit emitted so far. The caller must not
+// modify it while continuing to use the builder.
+func (b *Builder) Circuit() *circuit.Circuit { return b.circ }
+
+// DataWires returns the physical wires currently holding the codeword of
+// logical bit i, in the recursive order expected by code.Decode: 3^level
+// wires, grouped by thirds at every level.
+func (b *Builder) DataWires(i int) []int {
+	wires := make([]int, 0, code.BlockSize(b.level))
+	return appendDataWires(wires, b.bits[i])
+}
+
+func appendDataWires(wires []int, lb *lbit) []int {
+	if lb.level == 0 {
+		return append(wires, lb.wire)
+	}
+	for _, d := range lb.data {
+		wires = appendDataWires(wires, d)
+	}
+	return wires
+}
+
+// Apply emits the fault-tolerant implementation of gate k on the named
+// logical bits (indices into the builder's bits). The gate's arity must
+// match the number of operands.
+func (b *Builder) Apply(k gate.Kind, bits ...int) *Builder {
+	if len(bits) != k.Arity() {
+		panic(fmt.Sprintf("core: %s wants %d logical bits, got %d", k, k.Arity(), len(bits)))
+	}
+	operands := make([]*lbit, len(bits))
+	for i, idx := range bits {
+		if idx < 0 || idx >= len(b.bits) {
+			panic(fmt.Sprintf("core: logical bit %d out of range [0,%d)", idx, len(b.bits)))
+		}
+		operands[i] = b.bits[idx]
+	}
+	b.applyRec(k, operands)
+	return b
+}
+
+// applyRec is Figure 3: at level 0 the gate is physical; at level ℓ it is
+// applied transversally at level ℓ−1 and followed by recovery at level ℓ on
+// each operand.
+func (b *Builder) applyRec(k gate.Kind, operands []*lbit) {
+	if operands[0].level == 0 {
+		targets := make([]int, len(operands))
+		for i, o := range operands {
+			targets[i] = o.wire
+		}
+		b.circ.Append(k, targets...)
+		return
+	}
+	sub := make([]*lbit, len(operands))
+	for i := 0; i < 3; i++ {
+		for j, o := range operands {
+			sub[j] = o.data[i]
+		}
+		b.applyRec(k, sub)
+	}
+	for _, o := range operands {
+		b.recover(o)
+	}
+}
+
+// recover emits the level-ℓ error-recovery cycle (Figure 2 lifted one
+// level: E = 8 logical gates at level ℓ−1) on logical bit lb, then performs
+// the bookkeeping rotation of its children.
+func (b *Builder) recover(lb *lbit) {
+	// Ancilla preparation: two logical 3-bit initializations.
+	b.applyRec(gate.Init3, lb.anc[0:3])
+	b.applyRec(gate.Init3, lb.anc[3:6])
+	// Encoding: fan each code bit into two fresh ancillas.
+	for i := 0; i < 3; i++ {
+		b.applyRec(gate.MAJInv, []*lbit{lb.data[i], lb.anc[i], lb.anc[i+3]})
+	}
+	// Decoding: each block of three holds one copy of every code bit; its
+	// majority lands in the block's first member.
+	b.applyRec(gate.MAJ, []*lbit{lb.data[0], lb.data[1], lb.data[2]})
+	b.applyRec(gate.MAJ, []*lbit{lb.anc[0], lb.anc[1], lb.anc[2]})
+	b.applyRec(gate.MAJ, []*lbit{lb.anc[3], lb.anc[4], lb.anc[5]})
+	// Rotation: the recovered codeword lives in the first members of the
+	// three decode blocks; everything else becomes ancilla pool.
+	d0, d1, d2 := lb.data[0], lb.anc[0], lb.anc[3]
+	pool := [6]*lbit{lb.data[1], lb.data[2], lb.anc[1], lb.anc[2], lb.anc[4], lb.anc[5]}
+	lb.data = [3]*lbit{d0, d1, d2}
+	lb.anc = pool
+}
+
+// GateBlowup returns Γ_L = (3(1+E))^L, the number of physical operations
+// that one logical gate at level L expands into under this construction
+// (E = 8, counting initialization).
+func GateBlowup(level int) int {
+	n := 1
+	for i := 0; i < level; i++ {
+		n *= 3 * (1 + RecoveryOps)
+	}
+	return n
+}
+
+// GateCost returns the number of physical operations a logical gate of the
+// given arity expands into at the given level. For 3-bit gates this equals
+// GateBlowup; gates of lower arity trigger fewer recovery cycles (one per
+// operand bit): cost(a, L) = 3·cost(a, L−1) + a·E·Γ_{L−1}, since recovery
+// itself is built from 3-bit logical gates.
+func GateCost(arity, level int) int {
+	if level == 0 {
+		return 1
+	}
+	return 3*GateCost(arity, level-1) + arity*RecoveryOps*GateBlowup(level-1)
+}
+
+// SizeBlowup returns S_L = 9^L, the number of physical bits per logical bit.
+func SizeBlowup(level int) int {
+	n := 1
+	for i := 0; i < level; i++ {
+		n *= 9
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/code"
+	"revft/internal/gate"
+	"revft/internal/noise"
+	"revft/internal/rng"
+	"revft/internal/sim"
+	"revft/internal/stats"
+)
+
+// Gadget is one fault-tolerant logical gate at a concatenation level,
+// packaged for threshold experiments: the flat physical circuit plus the
+// wire maps needed to encode ideal inputs and decode the outputs.
+//
+// The experiment it supports is the extended rectangle of §2.2: ideally
+// encoded inputs, one noisy logical gate followed by its recovery cycles,
+// then ideal decoding. The measured failure probability is the paper's
+// g_logical.
+type Gadget struct {
+	Kind    gate.Kind
+	Level   int
+	Circuit *circuit.Circuit
+	// In[i] and Out[i] list the physical wires of logical operand i's
+	// codeword before and after the circuit, in code.Decode order.
+	In  [][]int
+	Out [][]int
+}
+
+// NewGadget builds the fault-tolerant implementation of k at the given
+// concatenation level.
+func NewGadget(k gate.Kind, level int) *Gadget {
+	nbits := k.Arity()
+	b := NewBuilder(level, nbits)
+	in := make([][]int, nbits)
+	for i := range in {
+		in[i] = b.DataWires(i)
+	}
+	operands := make([]int, nbits)
+	for i := range operands {
+		operands[i] = i
+	}
+	b.Apply(k, operands...)
+	out := make([][]int, nbits)
+	for i := range out {
+		out[i] = b.DataWires(i)
+	}
+	return &Gadget{
+		Kind:    k,
+		Level:   level,
+		Circuit: b.Circuit(),
+		In:      in,
+		Out:     out,
+	}
+}
+
+// Trial runs one noisy execution on a uniformly random logical input and
+// reports whether any logical output decoded incorrectly.
+func (g *Gadget) Trial(m noise.Model, r *rng.RNG) bool {
+	in := r.Bits(len(g.In))
+	return g.TrialInput(in, m, r)
+}
+
+// TrialInput runs one noisy execution on the given packed logical input
+// (operand i in bit i) and reports whether the decoded logical output
+// differs from the ideal gate's output.
+func (g *Gadget) TrialInput(in uint64, m noise.Model, r *rng.RNG) bool {
+	st := bitvec.New(g.Circuit.Width())
+	for i, wires := range g.In {
+		code.EncodeInto(st, wires, in>>uint(i)&1 == 1, g.Level)
+	}
+	sim.RunNoisy(g.Circuit, st, m, r)
+	want := g.Kind.Eval(in)
+	for i, wires := range g.Out {
+		if code.Decode(st, wires, g.Level) != (want>>uint(i)&1 == 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// LogicalErrorRate estimates g_logical by Monte Carlo: trials noisy
+// executions under model m, split across workers, seeded deterministically.
+func (g *Gadget) LogicalErrorRate(m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		return g.Trial(m, r)
+	})
+}
+
+// TrialProcess runs one execution under a stateful fault process (e.g.
+// noise.Burst) on a uniformly random logical input.
+func (g *Gadget) TrialProcess(p noise.Process, r *rng.RNG) bool {
+	in := r.Bits(len(g.In))
+	st := bitvec.New(g.Circuit.Width())
+	for i, wires := range g.In {
+		code.EncodeInto(st, wires, in>>uint(i)&1 == 1, g.Level)
+	}
+	sim.RunProcess(g.Circuit, st, p.NewSampler(), r)
+	want := g.Kind.Eval(in)
+	for i, wires := range g.Out {
+		if code.Decode(st, wires, g.Level) != (want>>uint(i)&1 == 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// LogicalErrorRateProcess is LogicalErrorRate under a stateful fault
+// process.
+func (g *Gadget) LogicalErrorRateProcess(p noise.Process, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		return g.TrialProcess(p, r)
+	})
+}

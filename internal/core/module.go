@@ -1,0 +1,109 @@
+package core
+
+import (
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/code"
+	"revft/internal/noise"
+	"revft/internal/rng"
+	"revft/internal/sim"
+	"revft/internal/stats"
+)
+
+// Module is a logical circuit compiled into its fault-tolerant physical
+// implementation at a concatenation level: every logical gate is expanded
+// through Figure 3's recursion (transversal application plus recovery),
+// giving Γ_L physical operations per logical gate and 9^L physical bits per
+// logical wire.
+type Module struct {
+	// Logical is the source circuit.
+	Logical *circuit.Circuit
+	// Physical is the compiled fault-tolerant circuit.
+	Physical *circuit.Circuit
+	// Level is the concatenation depth.
+	Level int
+	// In[i] and Out[i] list the physical wires holding logical wire i's
+	// codeword before and after execution, in code.Decode order.
+	In, Out [][]int
+}
+
+// CompileModule expands a logical circuit into its level-L fault-tolerant
+// implementation.
+func CompileModule(logical *circuit.Circuit, level int) *Module {
+	b := NewBuilder(level, logical.Width())
+	in := make([][]int, logical.Width())
+	for i := range in {
+		in[i] = b.DataWires(i)
+	}
+	for _, op := range logical.Ops() {
+		b.Apply(op.Kind, op.Targets...)
+	}
+	out := make([][]int, logical.Width())
+	for i := range out {
+		out[i] = b.DataWires(i)
+	}
+	return &Module{
+		Logical:  logical,
+		Physical: b.Circuit(),
+		Level:    level,
+		In:       in,
+		Out:      out,
+	}
+}
+
+// EncodeInputs writes the packed logical input (wire i in bit i) onto a
+// fresh physical state.
+func (m *Module) EncodeInputs(in uint64) *bitvec.Vector {
+	st := bitvec.New(m.Physical.Width())
+	for i, wires := range m.In {
+		code.EncodeInto(st, wires, in>>uint(i)&1 == 1, m.Level)
+	}
+	return st
+}
+
+// DecodeOutputs reads the packed logical output from a physical state.
+func (m *Module) DecodeOutputs(st *bitvec.Vector) uint64 {
+	var out uint64
+	for i, wires := range m.Out {
+		if code.Decode(st, wires, m.Level) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Trial runs the module once under noise on the given logical input and
+// reports whether the decoded output differs from the logical circuit's
+// ideal output.
+func (m *Module) Trial(in uint64, nm noise.Model, r *rng.RNG) bool {
+	st := m.EncodeInputs(in)
+	sim.RunNoisy(m.Physical, st, nm, r)
+	return m.DecodeOutputs(st) != m.Logical.Eval(in)
+}
+
+// ErrorRate estimates the module's logical failure probability on the given
+// input by parallel Monte Carlo.
+func (m *Module) ErrorRate(in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		return m.Trial(in, nm, r)
+	})
+}
+
+// UnprotectedTrial runs the bare logical circuit once under the same noise
+// model (no encoding, no recovery) and reports whether its output is wrong —
+// the paper's 1−(1−g)^T reference point.
+func UnprotectedTrial(logical *circuit.Circuit, in uint64, nm noise.Model, r *rng.RNG) bool {
+	st := bitvec.New(logical.Width())
+	for i := 0; i < logical.Width(); i++ {
+		st.Set(i, in>>uint(i)&1 == 1)
+	}
+	sim.RunNoisy(logical, st, nm, r)
+	return st.Uint(0, logical.Width()) != logical.Eval(in)
+}
+
+// UnprotectedErrorRate estimates the bare circuit's failure probability.
+func UnprotectedErrorRate(logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		return UnprotectedTrial(logical, in, nm, r)
+	})
+}

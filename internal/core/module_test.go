@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"revft/internal/adder"
+	"revft/internal/circuit"
+	"revft/internal/noise"
+	"revft/internal/rng"
+)
+
+func buildTestLogical() *circuit.Circuit {
+	// A small mixed-gate circuit on 4 wires.
+	return circuit.New(4).
+		NOT(0).
+		CNOT(0, 1).
+		MAJ(1, 2, 3).
+		Toffoli(0, 1, 2).
+		Swap3(1, 2, 3)
+}
+
+func TestCompileModuleNoiselessSemantics(t *testing.T) {
+	logical := buildTestLogical()
+	for level := 0; level <= 2; level++ {
+		m := CompileModule(logical, level)
+		for in := uint64(0); in < 16; in++ {
+			st := m.EncodeInputs(in)
+			m.Physical.Run(st)
+			if got, want := m.DecodeOutputs(st), logical.Eval(in); got != want {
+				t.Fatalf("level %d input %04b: module output %04b, want %04b", level, in, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileModuleGateBlowup(t *testing.T) {
+	logical := buildTestLogical()
+	for level := 0; level <= 2; level++ {
+		m := CompileModule(logical, level)
+		want := 0
+		for _, op := range logical.Ops() {
+			want += GateCost(op.Kind.Arity(), level)
+		}
+		if got := m.Physical.GateCount(); got != want {
+			t.Fatalf("level %d: %d physical ops, want Σ per-gate cost = %d", level, got, want)
+		}
+		if got, want := m.Physical.Width(), logical.Width()*SizeBlowup(level); got != want {
+			t.Fatalf("level %d: width %d, want %d", level, got, want)
+		}
+	}
+}
+
+func TestGateCostMatchesGamma(t *testing.T) {
+	// For 3-bit gates GateCost reduces to Γ_L = 27^L; lower arity is
+	// strictly cheaper.
+	for level := 0; level <= 3; level++ {
+		if got, want := GateCost(3, level), GateBlowup(level); got != want {
+			t.Fatalf("GateCost(3,%d) = %d, want Γ = %d", level, got, want)
+		}
+	}
+	if GateCost(1, 1) != 11 || GateCost(2, 1) != 19 {
+		t.Fatalf("arity costs at level 1 = %d, %d; want 11, 19",
+			GateCost(1, 1), GateCost(2, 1))
+	}
+	if !(GateCost(1, 2) < GateCost(2, 2) && GateCost(2, 2) < GateCost(3, 2)) {
+		t.Fatal("per-arity costs not monotone")
+	}
+}
+
+func TestCompileModuleLevel0IsIdentityCompilation(t *testing.T) {
+	logical := buildTestLogical()
+	m := CompileModule(logical, 0)
+	if !m.Physical.EquivalentTo(logical) {
+		t.Fatal("level-0 compilation changed semantics")
+	}
+	if m.Physical.GateCount() != logical.GateCount() {
+		t.Fatal("level-0 compilation changed gate count")
+	}
+}
+
+// TestFTAdderModule: the flagship integration — the Cuccaro adder compiled
+// to level 1 still adds correctly (noiselessly), exercising 2-bit and 3-bit
+// logical gates through the concatenation machinery.
+func TestFTAdderModule(t *testing.T) {
+	ac, l := adder.New(2)
+	m := CompileModule(ac, 1)
+	for a := uint64(0); a < 4; a++ {
+		for b := uint64(0); b < 4; b++ {
+			var in uint64
+			for i := 0; i < 2; i++ {
+				in |= (a >> uint(i) & 1) << uint(l.A[i])
+				in |= (b >> uint(i) & 1) << uint(l.B[i])
+			}
+			st := m.EncodeInputs(in)
+			m.Physical.Run(st)
+			out := m.DecodeOutputs(st)
+			var sum uint64
+			for i := 0; i < 2; i++ {
+				sum |= (out >> uint(l.B[i]) & 1) << uint(i)
+			}
+			sum |= (out >> uint(l.Cout) & 1) << 2
+			if sum != a+b {
+				t.Fatalf("FT adder: %d+%d = %d", a, b, sum)
+			}
+		}
+	}
+}
+
+// TestModuleBeatsUnprotected: at an error rate below threshold, the FT
+// module at level 1 outperforms the bare circuit, whose failure rate tracks
+// 1−(1−g)^T.
+func TestModuleBeatsUnprotected(t *testing.T) {
+	// ~41-gate module: large enough that the bare circuit fails visibly.
+	logical := circuit.New(3)
+	for i := 0; i < 41; i++ {
+		logical.MAJ(i%3, (i+1)%3, (i+2)%3)
+	}
+	const g = 1e-3
+	nm := noise.Uniform(g)
+
+	bare := UnprotectedErrorRate(logical, 0b101, nm, 40000, 0, 21)
+	ft := CompileModule(logical, 1).ErrorRate(0b101, nm, 40000, 0, 22)
+
+	loBare, _ := bare.Wilson(1.96)
+	_, hiFT := ft.Wilson(1.96)
+	if hiFT >= loBare {
+		t.Fatalf("FT module (%v) not better than bare circuit (%v) at g=%v", ft, bare, g)
+	}
+}
+
+func TestUnprotectedTrialNoiseless(t *testing.T) {
+	logical := buildTestLogical()
+	r := rng.New(1)
+	for in := uint64(0); in < 16; in++ {
+		if UnprotectedTrial(logical, in, noise.Noiseless, r) {
+			t.Fatal("noiseless unprotected trial failed")
+		}
+	}
+}
+
+func TestModuleTrialNoiseless(t *testing.T) {
+	m := CompileModule(buildTestLogical(), 1)
+	r := rng.New(2)
+	for in := uint64(0); in < 16; in++ {
+		if m.Trial(in, noise.Noiseless, r) {
+			t.Fatal("noiseless module trial failed")
+		}
+	}
+}
+
+func TestModuleWithInit3InLogicalCircuit(t *testing.T) {
+	// Logical circuits containing initialization compile and run.
+	logical := circuit.New(3).NOT(0).NOT(1).Init3(0, 1, 2).NOT(2)
+	m := CompileModule(logical, 1)
+	st := m.EncodeInputs(0)
+	m.Physical.Run(st)
+	if got, want := m.DecodeOutputs(st), logical.Eval(0); got != want {
+		t.Fatalf("module with Init3: %03b, want %03b", got, want)
+	}
+}
+
+func BenchmarkCompileAdderLevel1(b *testing.B) {
+	ac, _ := adder.New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompileModule(ac, 1)
+	}
+}
+
+func BenchmarkModuleTrialAdderLevel1(b *testing.B) {
+	ac, _ := adder.New(4)
+	m := CompileModule(ac, 1)
+	nm := noise.Uniform(1e-3)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Trial(0, nm, r)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"revft/internal/bitvec"
+	"revft/internal/code"
+	"revft/internal/noise"
+	"revft/internal/sim"
+)
+
+// QuadraticCoefficient exhaustively enumerates every two-fault combination
+// in the gadget — every ordered pair of distinct ops, every pair of fault
+// values, every logical input — and returns the exact second-order
+// coefficient c₂ of the logical error rate: g_logical = c₂·g² + O(g³)
+// (assuming the gadget is single-fault tolerant, so there is no linear
+// term).
+//
+// The paper's Equation 1 bounds c₂ by 3·C(G,2) by declaring every pair
+// malignant; the exact count shows how conservative that is — most pairs
+// are benign. Feasible for level-1 gadgets (27 ops → 351 pairs → ~180k
+// deterministic executions).
+func (g *Gadget) QuadraticCoefficient() float64 {
+	nOps := g.Circuit.Len()
+	arity := make([]int, nOps)
+	for i := 0; i < nOps; i++ {
+		arity[i] = g.Circuit.Op(i).Kind.Arity()
+	}
+	nin := uint64(1) << uint(len(g.In))
+
+	total := 0.0
+	st := bitvec.New(g.Circuit.Width())
+	for i := 0; i < nOps; i++ {
+		for j := i + 1; j < nOps; j++ {
+			vi := uint64(1) << uint(arity[i])
+			vj := uint64(1) << uint(arity[j])
+			fails := 0
+			for in := uint64(0); in < nin; in++ {
+				want := g.Kind.Eval(in)
+				for a := uint64(0); a < vi; a++ {
+					for b := uint64(0); b < vj; b++ {
+						st.Clear()
+						for k, wires := range g.In {
+							code.EncodeInto(st, wires, in>>uint(k)&1 == 1, g.Level)
+						}
+						sim.RunInjected(g.Circuit, st, noise.Plan{i: a, j: b})
+						for k, wires := range g.Out {
+							if code.Decode(st, wires, g.Level) != (want>>uint(k)&1 == 1) {
+								fails++
+								break
+							}
+						}
+					}
+				}
+			}
+			// Average failure probability of this pair over uniform
+			// inputs and uniform fault values.
+			total += float64(fails) / float64(nin*vi*vj)
+		}
+	}
+	return total
+}
+
+// MalignantPairs counts the op pairs for which at least one (input, value,
+// value) combination produces a logical error — the pairs the paper's
+// C(G,2) count treats as universally fatal.
+func (g *Gadget) MalignantPairs() (malignant, total int) {
+	nOps := g.Circuit.Len()
+	arity := make([]int, nOps)
+	for i := 0; i < nOps; i++ {
+		arity[i] = g.Circuit.Op(i).Kind.Arity()
+	}
+	nin := uint64(1) << uint(len(g.In))
+
+	st := bitvec.New(g.Circuit.Width())
+	for i := 0; i < nOps; i++ {
+	pair:
+		for j := i + 1; j < nOps; j++ {
+			total++
+			vi := uint64(1) << uint(arity[i])
+			vj := uint64(1) << uint(arity[j])
+			for in := uint64(0); in < nin; in++ {
+				want := g.Kind.Eval(in)
+				for a := uint64(0); a < vi; a++ {
+					for b := uint64(0); b < vj; b++ {
+						st.Clear()
+						for k, wires := range g.In {
+							code.EncodeInto(st, wires, in>>uint(k)&1 == 1, g.Level)
+						}
+						sim.RunInjected(g.Circuit, st, noise.Plan{i: a, j: b})
+						for k, wires := range g.Out {
+							if code.Decode(st, wires, g.Level) != (want>>uint(k)&1 == 1) {
+								malignant++
+								continue pair
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return malignant, total
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"revft/internal/gate"
+	"revft/internal/noise"
+	"revft/internal/threshold"
+)
+
+// TestQuadraticCoefficientBoundedByPaper: the exact two-fault coefficient
+// must be positive and far below the paper's 3·C(G,2) = 165 declaration
+// that every pair is malignant.
+func TestQuadraticCoefficientBoundedByPaper(t *testing.T) {
+	g := NewGadget(gate.MAJ, 1)
+	c2 := g.QuadraticCoefficient()
+	bound := 3 * threshold.Choose(threshold.GNonLocalInit, 2)
+	if c2 <= 0 {
+		t.Fatalf("c₂ = %v, want positive", c2)
+	}
+	if c2 >= bound {
+		t.Fatalf("c₂ = %v not below the paper's %v", c2, bound)
+	}
+	// The bound should be loose by roughly an order of magnitude.
+	if bound/c2 < 5 {
+		t.Fatalf("bound/c₂ = %v; expected the paper's count to be much looser", bound/c2)
+	}
+}
+
+// TestQuadraticCoefficientPredictsMC: c₂·g² must match the measured
+// logical error rate at small g.
+func TestQuadraticCoefficientPredictsMC(t *testing.T) {
+	g := NewGadget(gate.MAJ, 1)
+	c2 := g.QuadraticCoefficient()
+	const gerr = 3e-3
+	est := g.LogicalErrorRate(noise.Uniform(gerr), 400000, 0, 51)
+	predicted := c2 * gerr * gerr
+	lo, hi := est.Wilson(1.96)
+	if predicted < lo*0.75 || predicted > hi*1.25 {
+		t.Fatalf("c₂·g² = %v outside measured band [%v, %v] (c₂ = %v)", predicted, lo, hi, c2)
+	}
+}
+
+// TestMalignantPairsMinority: most op pairs are benign.
+func TestMalignantPairsMinority(t *testing.T) {
+	g := NewGadget(gate.MAJ, 1)
+	malignant, total := g.MalignantPairs()
+	if total != 27*26/2 {
+		t.Fatalf("total pairs = %d, want 351", total)
+	}
+	if malignant == 0 {
+		t.Fatal("no malignant pairs at all — two-fault failures must exist")
+	}
+	if malignant >= total/2 {
+		t.Fatalf("malignant pairs = %d of %d; expected a minority", malignant, total)
+	}
+}
+
+func BenchmarkQuadraticCoefficient(b *testing.B) {
+	g := NewGadget(gate.MAJ, 1)
+	for i := 0; i < b.N; i++ {
+		g.QuadraticCoefficient()
+	}
+}

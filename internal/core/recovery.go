@@ -1,0 +1,80 @@
+// Package core implements the paper's primary contribution: reversible
+// fault-tolerant error recovery based on the MAJ gate (Figure 2), and the
+// recursive concatenated construction of fault-tolerant logical gates
+// (Figure 3).
+package core
+
+import (
+	"revft/internal/circuit"
+)
+
+// Geometry of the Figure 2 recovery circuit on nine wires.
+var (
+	// RecoveryDataWires hold the input codeword.
+	RecoveryDataWires = []int{0, 1, 2}
+	// RecoveryOutputWires hold the recovered codeword afterwards. The
+	// circuit rotates the logical bit line (footnote 3 of the paper):
+	// outputs land on wires 0, 3, 6 and the remaining six wires are
+	// discarded.
+	RecoveryOutputWires = []int{0, 3, 6}
+)
+
+// Gate-count accounting for the recovery circuit (§2.2): E gates of error
+// recovery plus three transversal gates per logical operation gives
+// G = 3 + E operations acting on each encoded bit.
+const (
+	// RecoveryWidth is the number of wires the recovery circuit uses:
+	// three data bits and six ancillas.
+	RecoveryWidth = 9
+	// RecoveryOps counts the recovery's operations with initialization
+	// included: two 3-bit initializations, three MAJ⁻¹, three MAJ (E = 8).
+	RecoveryOps = 8
+	// RecoveryOpsNoInit counts the recovery's operations when bit
+	// initialization is assumed far more accurate than gates (E = 6).
+	RecoveryOpsNoInit = 6
+	// GWithInit is G = 3 + E for E = 8, giving threshold 1/165.
+	GWithInit = 3 + RecoveryOps
+	// GNoInit is G = 3 + E for E = 6, giving threshold 1/108.
+	GNoInit = 3 + RecoveryOpsNoInit
+)
+
+// Recovery builds the paper's Figure 2: the fault-tolerant error-recovery
+// circuit for the 3-bit repetition code.
+//
+// Wires 0–2 carry the input codeword; wires 3–8 are ancillas. The circuit
+// initializes the ancillas, fans each data bit into two ancillas with MAJ⁻¹
+// (encoding), and folds each block of three back to its majority with MAJ
+// (decoding). The recovered codeword appears on wires 0, 3 and 6.
+//
+// Fault tolerance: any single randomizing gate fault leaves the output
+// codeword within Hamming distance one of the ideal codeword, so the next
+// recovery cycle (or a final majority decode) still yields the correct
+// logical value.
+func Recovery() *circuit.Circuit {
+	c := circuit.New(RecoveryWidth)
+	// Ancilla initialization: two 3-bit operations.
+	c.Init3(3, 4, 5)
+	c.Init3(6, 7, 8)
+	// Encoding: MAJ⁻¹ on (data bit, fresh ancilla, fresh ancilla) copies
+	// each data bit into its two ancillas.
+	c.MAJInv(0, 3, 6)
+	c.MAJInv(1, 4, 7)
+	c.MAJInv(2, 5, 8)
+	// Decoding: after encoding, each block of three holds one copy of every
+	// data bit; MAJ writes the block's majority — the logical value — into
+	// its first wire.
+	c.MAJ(0, 1, 2)
+	c.MAJ(3, 4, 5)
+	c.MAJ(6, 7, 8)
+	return c
+}
+
+// RecoveryLabels returns display labels for the recovery circuit's wires,
+// matching Figure 2.
+func RecoveryLabels() []string {
+	return []string{
+		"q0", "q1", "q2",
+		"q3=|0⟩", "q4=|0⟩", "q5=|0⟩",
+		"q6=|0⟩", "q7=|0⟩", "q8=|0⟩",
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/code"
+	"revft/internal/gate"
+	"revft/internal/noise"
+	"revft/internal/sim"
+)
+
+func TestRecoveryGeometry(t *testing.T) {
+	c := Recovery()
+	if c.Width() != RecoveryWidth {
+		t.Fatalf("width = %d, want %d", c.Width(), RecoveryWidth)
+	}
+	if c.Len() != RecoveryOps {
+		t.Fatalf("ops = %d, want E = %d", c.Len(), RecoveryOps)
+	}
+	counts := c.CountByKind()
+	if counts[gate.Init3] != 2 || counts[gate.MAJInv] != 3 || counts[gate.MAJ] != 3 {
+		t.Fatalf("gate census = %v, want 2 INIT3 + 3 MAJ⁻¹ + 3 MAJ", counts)
+	}
+	if RecoveryOpsNoInit != RecoveryOps-2 {
+		t.Fatal("E without init should drop exactly the two initializations")
+	}
+	if GWithInit != 11 || GNoInit != 9 {
+		t.Fatalf("G values = %d, %d; want 11, 9 (paper §2.2)", GWithInit, GNoInit)
+	}
+}
+
+// TestRecoveryNoiseless checks that a clean codeword passes through
+// unchanged: every output wire carries the logical value.
+func TestRecoveryNoiseless(t *testing.T) {
+	c := Recovery()
+	for _, v := range []bool{false, true} {
+		st := bitvec.New(RecoveryWidth)
+		code.EncodeInto(st, RecoveryDataWires, v, 1)
+		// Dirty ancillas: initialization must handle them.
+		st.Set(4, true)
+		st.Set(8, true)
+		c.Run(st)
+		for _, w := range RecoveryOutputWires {
+			if st.Get(w) != v {
+				t.Fatalf("value %v: output wire %d = %v", v, w, st.Get(w))
+			}
+		}
+	}
+}
+
+// TestRecoveryCorrectsSingleInputError checks the error-correction function:
+// any single bit error on the input codeword is removed by a noiseless
+// recovery cycle.
+func TestRecoveryCorrectsSingleInputError(t *testing.T) {
+	c := Recovery()
+	for _, v := range []bool{false, true} {
+		for _, e := range RecoveryDataWires {
+			st := bitvec.New(RecoveryWidth)
+			code.EncodeInto(st, RecoveryDataWires, v, 1)
+			st.Flip(e)
+			c.Run(st)
+			for _, w := range RecoveryOutputWires {
+				if st.Get(w) != v {
+					t.Fatalf("value %v, input error on %d: output wire %d wrong", v, e, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverySingleFaultExhaustive is the paper's core fault-tolerance
+// claim, verified exhaustively: for every single randomizing fault — every
+// op, every local value the fault could leave — the output codeword is
+// within Hamming distance 1 of the ideal codeword, so the logical value
+// still decodes correctly and the residue is repairable by the next cycle.
+func TestRecoverySingleFaultExhaustive(t *testing.T) {
+	c := Recovery()
+	cases := 0
+	for _, v := range []bool{false, true} {
+		ideal := bitvec.New(3)
+		if v {
+			for i := 0; i < 3; i++ {
+				ideal.Set(i, true)
+			}
+		}
+		sim.ForEachSingleFault(c, func(op int, val uint64) {
+			cases++
+			st := bitvec.New(RecoveryWidth)
+			code.EncodeInto(st, RecoveryDataWires, v, 1)
+			sim.RunInjected(c, st, noise.NewPlan(noise.Injection{OpIndex: op, Value: val}))
+
+			out := bitvec.New(3)
+			for i, w := range RecoveryOutputWires {
+				out.Set(i, st.Get(w))
+			}
+			if d := out.HammingDistance(ideal); d > 1 {
+				t.Fatalf("value %v, fault (op %d = %s, val %03b): output %s is distance %d from ideal",
+					v, op, c.Op(op), val, out, d)
+			}
+			if code.Decode(st, RecoveryOutputWires, 1) != v {
+				t.Fatalf("value %v, fault (op %d, val %03b): logical value flipped", v, op, val)
+			}
+		})
+	}
+	// 2 logical values x 8 ops x 8 fault values.
+	if cases != 2*8*8 {
+		t.Fatalf("enumerated %d cases, want 128", cases)
+	}
+}
+
+// TestRecoveryTwoFaultsCanFail documents that the circuit is only
+// single-fault tolerant: there exists a pair of faults that flips the
+// logical value (otherwise the threshold analysis would be trivial).
+func TestRecoveryTwoFaultsCanFail(t *testing.T) {
+	c := Recovery()
+	// Corrupt two of the three decode MAJ outputs: ops 5 and 6 are
+	// MAJ(0,1,2) and MAJ(3,4,5); force both blocks to all-ones.
+	st := bitvec.New(RecoveryWidth)
+	code.EncodeInto(st, RecoveryDataWires, false, 1)
+	sim.RunInjected(c, st, noise.NewPlan(
+		noise.Injection{OpIndex: 5, Value: 0b111},
+		noise.Injection{OpIndex: 6, Value: 0b111},
+	))
+	if code.Decode(st, RecoveryOutputWires, 1) == false {
+		t.Fatal("expected a two-fault pattern to flip the logical value; the test's fault choice needs updating")
+	}
+}
+
+func TestRecoveryRenderAndLabels(t *testing.T) {
+	s := Recovery().RenderLabeled(RecoveryLabels())
+	for _, want := range []string{"MAJ⁻¹", "MAJ", "|0⟩", "q0", "q8=|0⟩"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+	if len(RecoveryLabels()) != RecoveryWidth {
+		t.Fatal("label count mismatch")
+	}
+}

@@ -1,0 +1,204 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBinaryEntropy(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 0}, {1, 0}, {0.5, 1},
+		{0.25, 0.8112781244591328},
+		{-0.1, 0}, {1.1, 0},
+	}
+	for _, tt := range tests {
+		if got := BinaryEntropy(tt.p); !approx(got, tt.want, 1e-12) {
+			t.Errorf("H(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBinaryEntropySymmetric(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := float64(raw) / 65536
+		return approx(BinaryEntropy(p), BinaryEntropy(1-p), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKappa(t *testing.T) {
+	// κ = 2√(7/8) + (7/8)log₂7 ≈ 1.8708 + 2.4567 ≈ 4.327.
+	want := 2*math.Sqrt(0.875) + 0.875*math.Log2(7)
+	if got := Kappa(); !approx(got, want, 1e-15) {
+		t.Fatalf("Kappa = %v, want %v", got, want)
+	}
+	if Kappa() < 4.3 || Kappa() > 4.4 {
+		t.Fatalf("Kappa = %v out of expected range", Kappa())
+	}
+}
+
+func TestPerGateEntropyBounds(t *testing.T) {
+	// The κ√g relaxation must dominate the exact expression everywhere, and
+	// be asymptotically loose but within the √ envelope.
+	for _, g := range []float64{1e-8, 1e-6, 1e-4, 1e-2, 0.1, 0.5, 1} {
+		exact := PerGateEntropy(g)
+		bound := PerGateEntropyKappaBound(g)
+		if exact > bound+1e-12 {
+			t.Errorf("g=%v: PerGateEntropy %v exceeds κ√g %v", g, exact, bound)
+		}
+		if exact < 0 {
+			t.Errorf("g=%v: negative entropy %v", g, exact)
+		}
+	}
+	if PerGateEntropy(0) != 0 {
+		t.Fatal("PerGateEntropy(0) != 0")
+	}
+	// Max entropy of a faulty 3-bit gate is 3 bits; at g=1 the expression
+	// is H(7/8) + (7/8)log₂7 = exactly 3 bits (uniform over 8 states).
+	if got := PerGateEntropy(1); !approx(got, 3, 1e-12) {
+		t.Fatalf("PerGateEntropy(1) = %v, want 3", got)
+	}
+}
+
+func TestUpperLowerBoundOrdering(t *testing.T) {
+	// For the recovery construction (E = 8, G̃ = 27 per level), the lower
+	// bound must not exceed the upper bound.
+	const e = 8
+	const gTilde = 27.0
+	for _, g := range []float64{1e-6, 1e-4, 1e-2} {
+		for l := 1; l <= 4; l++ {
+			lo := LowerBound(g, e, l)
+			hi := UpperBound(g, gTilde, l)
+			if lo > hi {
+				t.Errorf("g=%v L=%d: lower %v > upper %v", g, l, lo, hi)
+			}
+		}
+	}
+}
+
+func TestLowerBoundLevelZero(t *testing.T) {
+	if LowerBound(0.01, 8, 0) != 0 {
+		t.Fatal("level-0 lower bound should be 0")
+	}
+}
+
+// TestPaperExampleMaxLevels reproduces §4's example: g = 10⁻², E = 11 gives
+// L ≤ 2.3.
+func TestPaperExampleMaxLevels(t *testing.T) {
+	got := MaxLevels(1e-2, 11)
+	if !approx(got, 2.3, 0.05) {
+		t.Fatalf("MaxLevels(1e-2, 11) = %v, want ≈2.3", got)
+	}
+}
+
+func TestMaxLevelsGrowsAsErrorShrinks(t *testing.T) {
+	// O(log 1/g) levels: each 10× error reduction buys a constant number of
+	// levels.
+	prev := MaxLevels(1e-1, 8)
+	for _, g := range []float64{1e-2, 1e-3, 1e-4} {
+		cur := MaxLevels(g, 8)
+		if cur <= prev {
+			t.Fatalf("MaxLevels not increasing at g=%v", g)
+		}
+		prev = cur
+	}
+	// Step size is constant: log(10)/log(24).
+	step := MaxLevels(1e-3, 8) - MaxLevels(1e-2, 8)
+	want := math.Log(10) / math.Log(24)
+	if !approx(step, want, 1e-12) {
+		t.Fatalf("level step = %v, want %v", step, want)
+	}
+}
+
+func TestEntropySavingsLost(t *testing.T) {
+	// Just below the bound: fine; deep concatenation at high error: lost.
+	if EntropySavingsLost(1e-2, 11, 2) {
+		t.Fatal("L=2 at g=1e-2 should retain savings (paper allows L ≤ 2.3)")
+	}
+	if !EntropySavingsLost(1e-2, 11, 4) {
+		t.Fatal("L=4 at g=1e-2 should have lost savings")
+	}
+}
+
+func TestLandauerHeat(t *testing.T) {
+	// One bit at 300K: kT·ln2 ≈ 2.87e-21 J.
+	got := LandauerHeat(1, 300)
+	if !approx(got, 2.871e-21, 1e-23) {
+		t.Fatalf("LandauerHeat(1, 300K) = %v", got)
+	}
+	if LandauerHeat(0, 300) != 0 {
+		t.Fatal("zero entropy should cost zero heat")
+	}
+	if LandauerHeat(2, 300) != 2*LandauerHeat(1, 300) {
+		t.Fatal("heat not linear in entropy")
+	}
+}
+
+func TestDistributionEntropy(t *testing.T) {
+	d := NewDistribution(2)
+	if d.Entropy() != 0 {
+		t.Fatal("empty distribution entropy != 0")
+	}
+	// Uniform over 4 states: 2 bits.
+	for s := uint64(0); s < 4; s++ {
+		d.Observe(s)
+	}
+	if got := d.Entropy(); !approx(got, 2, 1e-12) {
+		t.Fatalf("uniform entropy = %v, want 2", got)
+	}
+	// Deterministic: 0 bits.
+	d = NewDistribution(2)
+	for i := 0; i < 10; i++ {
+		d.Observe(3)
+	}
+	if got := d.Entropy(); got != 0 {
+		t.Fatalf("deterministic entropy = %v", got)
+	}
+}
+
+func TestMeasuredRecoveryEntropyNoiseless(t *testing.T) {
+	// With perfect gates the discarded bits are deterministic: zero
+	// entropy must be exported.
+	if got := MeasuredRecoveryEntropy(0, 2000, 1); got != 0 {
+		t.Fatalf("noiseless recovery entropy = %v, want 0", got)
+	}
+}
+
+// TestMeasuredRecoveryEntropyWithinPaperBounds checks the measured ancilla
+// entropy of one recovery cycle against §4's per-level bounds: it must be at
+// least the single-gate lower bound H(g/2) ≥ g·(something positive) — the
+// paper uses H(g/2) ≥ g — and at most E times the per-gate upper bound.
+func TestMeasuredRecoveryEntropyWithinPaperBounds(t *testing.T) {
+	const g = 0.02
+	const e = 8
+	h := MeasuredRecoveryEntropy(g, 400000, 7)
+	lo := BinaryEntropy(g / 2)
+	hi := float64(e) * PerGateEntropy(g)
+	if h < lo {
+		t.Fatalf("measured entropy %v below lower bound %v", h, lo)
+	}
+	if h > hi {
+		t.Fatalf("measured entropy %v above upper bound %v", h, hi)
+	}
+}
+
+func TestMeasuredRecoveryEntropyGrowsWithNoise(t *testing.T) {
+	h1 := MeasuredRecoveryEntropy(0.005, 200000, 3)
+	h2 := MeasuredRecoveryEntropy(0.05, 200000, 3)
+	if h2 <= h1 {
+		t.Fatalf("entropy did not grow with noise: %v vs %v", h1, h2)
+	}
+}
+
+func BenchmarkMeasuredRecoveryEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MeasuredRecoveryEntropy(0.01, 1000, uint64(i))
+	}
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"revft/internal/core"
+	"revft/internal/gate"
+	"revft/internal/irrev"
+	"revft/internal/lattice"
+	"revft/internal/noise"
+	"revft/internal/synth"
+	"revft/internal/threshold"
+)
+
+// InitAblation measures the effect of the paper's two initialization
+// conventions: initialization as noisy as any gate (G = 11) versus
+// noiseless initialization (G = 9), on the level-1 logical error rate.
+func InitAblation(gs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Ablation: noisy vs perfect initialization (G = 11 vs G = 9)",
+		Header: []string{"g", "noisy init (G=11)", "perfect init (G=9)", "ratio"},
+	}
+	gad := core.NewGadget(gate.MAJ, 1)
+	for i, g := range gs {
+		noisy := gad.LogicalErrorRate(noise.Uniform(g), p.Trials, p.Workers, p.Seed+uint64(2*i))
+		perfect := gad.LogicalErrorRate(noise.PerfectInit(g), p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		ratio := 0.0
+		if perfect.Rate() > 0 {
+			ratio = noisy.Rate() / perfect.Rate()
+		}
+		t.AddRow(g, noisy.Rate(), perfect.Rate(), ratio)
+	}
+	t.AddNote("the paper's bound ratio is C(11,2)/C(9,2) = 55/36 ≈ 1.53; measured ratios approach it as g grows (at tiny g the estimates are shot-noise limited)")
+	return t
+}
+
+// CorrelatedNoise measures how temporally correlated faults degrade the
+// level-1 logical error rate at a fixed marginal fault rate — probing the
+// paper's §2 caveat that its analysis requires failures no more correlated
+// than the binomial.
+func CorrelatedNoise(g float64, corrs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Ablation: correlated (burst) faults at fixed marginal rate",
+		Header: []string{"corr", "spontaneous rate", "marginal rate", "measured g_logical", "vs IID"},
+	}
+	gad := core.NewGadget(gate.MAJ, 1)
+	iid := gad.LogicalErrorRate(noise.Uniform(g), p.Trials, p.Workers, p.Seed)
+	for i, corr := range corrs {
+		// Choose the spontaneous rate so the marginal matches g.
+		base := g * (1 - corr*(1-g))
+		b := noise.Burst{Gate: base, Init: base, Corr: corr}
+		est := gad.LogicalErrorRateProcess(b, p.Trials, p.Workers, p.Seed+uint64(i+1))
+		ratio := 0.0
+		if iid.Rate() > 0 {
+			ratio = est.Rate() / iid.Rate()
+		}
+		t.AddRow(corr, base, b.Marginal(), est.Rate(), ratio)
+	}
+	t.AddNote("IID reference at the same marginal rate: %.3g", iid.Rate())
+	t.AddNote("correlated pairs defeat a single-fault-tolerant code, so g_logical grows with corr at fixed marginal rate")
+	return t
+}
+
+// ExactThresholds compares the paper's relaxed threshold ρ = 1/(3·C(G,2))
+// with the fixed point of the exact binomial recursion — the "tighter
+// bound" improvement the paper mentions but does not compute.
+func ExactThresholds() *Table {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Ablation: relaxed vs exact-recursion thresholds",
+		Header: []string{"Architecture", "G", "ρ (paper)", "exact fixed point", "improvement"},
+	}
+	rows := []struct {
+		name string
+		g    int
+	}{
+		{"non-local, init counted", threshold.GNonLocalInit},
+		{"non-local, accurate init", threshold.GNonLocal},
+		{"2D, init counted", threshold.G2DInit},
+		{"2D, accurate init", threshold.G2D},
+		{"1D, init counted", threshold.G1DInit},
+		{"1D, accurate init", threshold.G1D},
+	}
+	for _, r := range rows {
+		rho := threshold.Threshold(r.g)
+		exact := threshold.ExactThreshold(r.g)
+		t.AddRow(r.name, r.g, rho, exact, exact/rho)
+	}
+	t.AddNote("the exact recursion uses g_logical = 1−(1−P_bit)³ with the full binomial tail for P_bit")
+	return t
+}
+
+// InterleaveAblation compares the three local routing schemes: perpendicular
+// 2D (strictly fault tolerant), parallel 2D, and 1D — exhaustive audits plus
+// measured level-1 error rates.
+func InterleaveAblation(gs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "F4/F6",
+		Title:  "Ablation: interleave schemes — fault audits and measured error rates",
+		Header: []string{"scheme", "single-fault failures", "dangerous ops", "g", "measured"},
+	}
+	schemes := []struct {
+		name string
+		c    *lattice.Cycle
+	}{
+		{"2D perpendicular", lattice.NewCycle2D(gate.MAJ)},
+		{"2D parallel", lattice.NewCycle2DParallel(gate.MAJ)},
+		{"1D", lattice.NewCycle1D(gate.MAJ)},
+	}
+	for si, s := range schemes {
+		audit := s.c.AuditSingleFaults()
+		danger := len(s.c.CrossingOps())
+		for i, g := range gs {
+			est := cycleErrorRate(s.c, noise.Uniform(g), p.Trials, p.Workers,
+				p.Seed+uint64(100*si+i))
+			t.AddRow(s.name, len(audit.Failures), danger, g, est.Rate())
+		}
+	}
+	t.AddNote("only the perpendicular scheme routes exclusively through ancilla cells; the others swap data through data")
+	return t
+}
+
+// NANDSimulation regenerates footnote 4: the entropy cost of simulating an
+// irreversible NAND reversibly — 2 bits for the naive Toffoli construction,
+// exactly 3/2 bits (optimal) for the MAJ⁻¹ construction.
+func NANDSimulation() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "NAND simulation entropy (paper footnote 4)",
+		Header: []string{"construction", "computes NAND", "garbage entropy (exact)", "measured (200k)"},
+	}
+	for _, c := range []*irrev.NANDConstruction{irrev.NANDViaToffoli(), irrev.NANDViaMAJInv()} {
+		t.AddRow(c.Name, c.Correct(), c.GarbageEntropy(), c.MeasuredGarbageEntropy(200000, 17))
+	}
+	t.AddNote("paper: 3/2 bits is optimal for equally likely inputs and is achieved by MAJ⁻¹")
+	return t
+}
+
+// SynthesisCosts regenerates the circuit-optimality facts: minimal gate
+// counts of the paper's gates over {NOT, CNOT, Toffoli}, proving Figure 1's
+// three-gate MAJ optimal.
+func SynthesisCosts() *Table {
+	t := &Table{
+		ID:     "F1",
+		Title:  "Minimal realizations over {NOT, CNOT, Toffoli} (BFS-exact)",
+		Header: []string{"gate", "min ops", "note"},
+	}
+	set := synth.Placements(gate.NOT, gate.CNOT, gate.Toffoli)
+	rows := []struct {
+		k    gate.Kind
+		note string
+	}{
+		{gate.MAJ, "Figure 1's construction is optimal"},
+		{gate.MAJInv, "inverse costs the same"},
+		{gate.Fredkin, "CNOT·Toffoli·CNOT"},
+		{gate.SWAP3, "two 3-CNOT swaps; no shortcut exists"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.k.String(), synth.MinGateCount(synth.FromKind(r.k), set), r.note)
+	}
+	return t
+}
+
+// MemoryExperiment measures fault-tolerant storage: logical error of one
+// held bit versus the number of recovery cycles.
+func MemoryExperiment(g float64, cycles []int, p MCParams) *Table {
+	t := &Table{
+		ID:     "F2",
+		Title:  "Fault-tolerant storage: stored-bit error vs recovery cycles (level 1)",
+		Header: []string{"cycles", "measured error", "per-cycle rate"},
+	}
+	nm := noise.Uniform(g)
+	for i, n := range cycles {
+		m := core.NewMemory(1, n)
+		est := m.ErrorRate(nm, p.Trials, p.Workers, p.Seed+uint64(i))
+		per := 0.0
+		if n > 0 {
+			per = est.Rate() / float64(n)
+		}
+		t.AddRow(n, est.Rate(), per)
+	}
+	t.AddNote("g = %v; per-cycle rates should be flat (linear accumulation) and ≲ C(E,2)·g² = %.3g",
+		g, threshold.Choose(core.RecoveryOps, 2)*g*g)
+	return t
+}
+
+// PairAnalysis exhaustively enumerates all two-fault combinations of the
+// level-1 gadget to compute the exact quadratic coefficient c₂ of the
+// logical error rate — the number the paper's Equation 1 bounds by
+// 3·C(G,2) = 165 by declaring every pair of faults malignant.
+func PairAnalysis() *Table {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Exact two-fault analysis of the level-1 gadget (exhaustive)",
+		Header: []string{"Quantity", "Paper (bound)", "Exact (enumerated)"},
+	}
+	g := core.NewGadget(gate.MAJ, 1)
+	c2 := g.QuadraticCoefficient()
+	malignant, total := g.MalignantPairs()
+	bound := 3 * threshold.Choose(threshold.GNonLocalInit, 2)
+	t.AddRow("quadratic coefficient c₂ (g_logical ≈ c₂·g²)", bound, c2)
+	t.AddRow("malignant op pairs", total, malignant)
+	t.AddRow("implied pseudo-threshold 1/c₂", threshold.Threshold(threshold.GNonLocalInit), 1/c2)
+	t.AddNote("only %d of %d op pairs can cause a logical error at all, and most of those only for some fault values; "+
+		"the exact pseudo-threshold 1/c₂ ≈ %.3f explains why Monte Carlo sees the crossover an order of magnitude above ρ = 1/165",
+		malignant, total, 1/c2)
+	return t
+}

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"fmt"
+
+	"revft/internal/adder"
+	"revft/internal/bitvec"
+	"revft/internal/code"
+	"revft/internal/core"
+	"revft/internal/entropy"
+	"revft/internal/gate"
+	"revft/internal/lattice"
+	"revft/internal/noise"
+	"revft/internal/rng"
+	"revft/internal/sim"
+	"revft/internal/stats"
+	"revft/internal/threshold"
+	"revft/internal/vonneumann"
+)
+
+// MCParams controls the Monte Carlo experiment drivers.
+type MCParams struct {
+	// Trials per data point.
+	Trials int
+	// Workers for the parallel harness; 0 selects GOMAXPROCS.
+	Workers int
+	// Seed makes every experiment reproducible.
+	Seed uint64
+}
+
+// DefaultMCParams returns sensible defaults for interactive runs.
+func DefaultMCParams() MCParams {
+	return MCParams{Trials: 200000, Seed: 1}
+}
+
+// Recovery measures the Figure 2 extended rectangle: the level-1 logical
+// error rate of a MAJ gate followed by recovery, versus the paper's
+// Equation 1 bound 3·C(G,2)·g², across a sweep of gate error rates.
+func Recovery(gs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "F2",
+		Title:  "Level-1 logical error rate vs Equation 1 bound (G = 11, init counted)",
+		Header: []string{"g", "measured g_logical", "95% CI", "Eq.1 bound", "bound holds", "g_logical < g"},
+	}
+	gad := core.NewGadget(gate.MAJ, 1)
+	for i, g := range gs {
+		est := gad.LogicalErrorRate(noise.Uniform(g), p.Trials, p.Workers, p.Seed+uint64(i))
+		lo, hi := est.Wilson(1.96)
+		bound := threshold.LogicalBound(g, threshold.GNonLocalInit)
+		t.AddRow(g, est.Rate(), ciStr(lo, hi), bound, lo <= bound, hi < g)
+	}
+	t.AddNote("below threshold ρ = 1/165 the measured rate must fall under both g and the quadratic bound")
+	return t
+}
+
+// Levels measures the Figure 3 concatenation behavior: logical error rate
+// at levels 0–2 across a g sweep, against the Equation 2 level bounds.
+func Levels(gs []float64, maxLevel int, p MCParams) *Table {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Concatenation levels: measured logical error rate vs Equation 2 (G = 11)",
+		Header: []string{"g", "level", "measured", "95% CI", "Eq.2 bound"},
+	}
+	for l := 0; l <= maxLevel; l++ {
+		gad := core.NewGadget(gate.MAJ, l)
+		for i, g := range gs {
+			est := gad.LogicalErrorRate(noise.Uniform(g), p.Trials, p.Workers,
+				p.Seed+uint64(1000*l+i))
+			lo, hi := est.Wilson(1.96)
+			t.AddRow(g, l, est.Rate(), ciStr(lo, hi), threshold.LevelRate(g, threshold.GNonLocalInit, l))
+		}
+	}
+	t.AddNote("below threshold, deeper levels suppress errors doubly exponentially; above, they amplify")
+	return t
+}
+
+// Local measures the level-1 logical error rates of the local cycles: the
+// 2D perpendicular scheme (strictly fault tolerant) and the literal 1D
+// scheme, whose crossing-swap channel shows up as a linear-in-g component.
+func Local(gs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "F4/F7",
+		Title:  "Near-neighbor cycles: measured level-1 logical error rates",
+		Header: []string{"g", "2D measured", "2D/g²", "1D measured", "1D/g", "1D/g²"},
+	}
+	c2 := lattice.NewCycle2D(gate.MAJ)
+	c1 := lattice.NewCycle1D(gate.MAJ)
+	for i, g := range gs {
+		m := noise.Uniform(g)
+		e2 := cycleErrorRate(c2, m, p.Trials, p.Workers, p.Seed+uint64(2*i))
+		e1 := cycleErrorRate(c1, m, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		t.AddRow(g, e2.Rate(), e2.Rate()/(g*g), e1.Rate(), e1.Rate()/g, e1.Rate()/(g*g))
+	}
+	t.AddNote("2D scales quadratically (strict single-fault tolerance, verified exhaustively)")
+	t.AddNote("1D keeps a linear component from data-data crossing swaps — the channel §3.2's accounting misses")
+	return t
+}
+
+func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		in := r.Bits(len(c.In))
+		st := bitvec.New(c.Circuit.Width())
+		for i, wires := range c.In {
+			code.EncodeInto(st, wires, in>>uint(i)&1 == 1, 1)
+		}
+		sim.RunNoisy(c.Circuit, st, m, r)
+		want := c.Kind.Eval(in)
+		for i, wires := range c.Out {
+			if code.Decode(st, wires, 1) != (want>>uint(i)&1 == 1) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// EntropyMeasured measures the ancilla entropy of one noisy recovery cycle
+// against §4's per-cycle bounds.
+func EntropyMeasured(gs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Measured ancilla entropy per recovery cycle vs §4 bounds (bits)",
+		Header: []string{"g", "measured H", "lower H(g/2)", "upper E·(H(7g/8)+(7g/8)log₂7)", "within"},
+	}
+	for i, g := range gs {
+		h := entropy.MeasuredRecoveryEntropy(g, p.Trials, p.Seed+uint64(i))
+		lo := entropy.BinaryEntropy(g / 2)
+		hi := float64(core.RecoveryOps) * entropy.PerGateEntropy(g)
+		t.AddRow(g, h, lo, hi, h >= lo && h <= hi)
+	}
+	t.AddNote("measured entropy is the Shannon entropy of the joint distribution of the six discarded wires")
+	return t
+}
+
+// VonNeumannChain measures the NAND-multiplexing baseline: decoded error of
+// a depth-d chain of multiplexed NANDs, below and above its threshold.
+func VonNeumannChain(p MCParams) *Table {
+	t := &Table{
+		ID:     "VN",
+		Title:  "NAND-multiplexing chain error (bundle N = 100)",
+		Header: []string{"eps", "depth-15 error", "depth-16 error", "bistable (analytic)"},
+	}
+	trials := p.Trials / 100
+	if trials < 50 {
+		trials = 50
+	}
+	// Above threshold the bundle fraction settles near a single fixed
+	// level; depending on chain parity that can masquerade as a correct
+	// decode, so both parities are reported.
+	for i, eps := range []float64{0.001, 0.01, 0.03, 0.06, 0.09, 0.15} {
+		u := vonneumann.Unit{N: 100, Eps: eps}
+		err15 := vonneumann.ChainErrorRate(u, 15, trials, p.Seed+uint64(2*i))
+		err16 := vonneumann.ChainErrorRate(u, 16, trials, p.Seed+uint64(2*i+1))
+		t.AddRow(eps, err15, err16, vonneumann.Bistable(eps))
+	}
+	t.AddNote("analytic bistability threshold: %.4f (paper quotes \"about 11%%\" for multiplexing schemes)",
+		vonneumann.Threshold())
+	return t
+}
+
+// AdderModule measures a realistic module: the n-bit Cuccaro adder compiled
+// to level 1, versus the bare adder and the 1−(1−g)^T prediction.
+func AdderModule(n int, gs []float64, p MCParams) *Table {
+	t := &Table{
+		ID:     "B1",
+		Title:  fmt.Sprintf("%d-bit reversible adder module: bare vs level-1 FT", n),
+		Header: []string{"g", "bare measured", "1−(1−g)^T", "FT level-1 measured", "FT wins"},
+	}
+	logical, l := adder.New(n)
+	m := core.CompileModule(logical, 1)
+	// Fixed representative operands.
+	var in uint64
+	a, b := uint64(0b1011)&((1<<uint(n))-1), uint64(0b0110)&((1<<uint(n))-1)
+	for i := 0; i < n; i++ {
+		in |= (a >> uint(i) & 1) << uint(l.A[i])
+		in |= (b >> uint(i) & 1) << uint(l.B[i])
+	}
+	T := float64(logical.GateCount())
+	for i, g := range gs {
+		nm := noise.Uniform(g)
+		bare := core.UnprotectedErrorRate(logical, in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i))
+		ft := m.ErrorRate(in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		t.AddRow(g, bare.Rate(), threshold.UnprotectedModuleError(g, T), ft.Rate(), ft.Rate() < bare.Rate())
+	}
+	t.AddNote("T = %d logical gates; FT module has %d physical ops on %d wires",
+		logical.GateCount(), m.Physical.GateCount(), m.Physical.Width())
+	return t
+}
+
+func ciStr(lo, hi float64) string {
+	return fmt.Sprintf("[%.3g, %.3g]", lo, hi)
+}

@@ -1,0 +1,154 @@
+// Package exp implements the reproduction experiments: one driver per table
+// and figure of the paper, each returning a formatted result table that
+// pairs the paper's published value with the value this library computes or
+// measures. The cmd/revft-tables and cmd/revft-mc binaries are thin wrappers
+// around these drivers.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "T2", "F3").
+	ID string
+	// Title describes the paper artifact being regenerated.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the cells, already rendered as strings.
+	Rows [][]string
+	// Notes are free-form observations appended after the table.
+	Notes []string
+}
+
+// AddRow appends a row, rendering each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	if a != 0 && (a < 1e-3 || a >= 1e6) {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Format renders the table as aligned plain text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table with the
+// title as a heading and notes as trailing paragraphs.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	writeMarkdownRow(&b, t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMarkdownRow(&b, sep)
+	for _, row := range t.Rows {
+		writeMarkdownRow(&b, row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func writeMarkdownRow(b *strings.Builder, cells []string) {
+	b.WriteString("|")
+	for _, c := range cells {
+		b.WriteString(" ")
+		b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+		b.WriteString(" |")
+	}
+	b.WriteString("\n")
+}
+
+// CSV renders the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}

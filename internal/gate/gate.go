@@ -1,0 +1,261 @@
+// Package gate defines the reversible gate set of Boykin & Roychowdhury,
+// "Reversible Fault-Tolerant Logic" (DSN 2005).
+//
+// Every reversible gate on k bits is a permutation of its 2^k local states,
+// stored as a lookup table. The local state packs targets[0] as bit 0
+// (least significant), targets[1] as bit 1, and so on. Init3 — the paper's
+// three-bit initialization operation — is the single irreversible primitive:
+// it resets its targets to zero and is accounted separately in the threshold
+// analysis (G = 9 vs G = 11, etc.).
+//
+// The MAJ gate follows the paper exactly (Table 1): flip the second two bits
+// if the first bit is 1, then flip the first bit if the second two bits are
+// both 1. Its first output bit is the majority of the three inputs, and it
+// decomposes into two CNOTs and a Toffoli (Figure 1).
+package gate
+
+import (
+	"fmt"
+
+	"revft/internal/bitvec"
+)
+
+// Kind identifies a gate. The zero Kind is invalid.
+type Kind int
+
+// The gate set. Arities: NOT is 1-bit; CNOT and SWAP are 2-bit; the rest are
+// 3-bit. SWAP3 is the paper's Figure 5 gate: SWAP(q0,q1) followed by
+// SWAP(q1,q2), i.e. a left rotation of the three bits; SWAP3Inv is the right
+// rotation.
+const (
+	NOT Kind = iota + 1
+	CNOT
+	SWAP
+	Toffoli
+	Fredkin
+	MAJ
+	MAJInv
+	SWAP3
+	SWAP3Inv
+	Init3
+
+	numKinds = Init3
+)
+
+// spec is the static description of one gate kind.
+type spec struct {
+	name       string
+	arity      int
+	reversible bool
+	perm       []uint8 // output local state indexed by input local state
+}
+
+var specs = buildSpecs()
+
+func buildSpecs() [numKinds + 1]spec {
+	var s [numKinds + 1]spec
+	s[NOT] = spec{name: "NOT", arity: 1, reversible: true,
+		perm: makePerm(1, func(in uint64) uint64 { return in ^ 1 })}
+	s[CNOT] = spec{name: "CNOT", arity: 2, reversible: true,
+		perm: makePerm(2, func(in uint64) uint64 {
+			// targets[0] controls, targets[1] is flipped.
+			if in&1 == 1 {
+				in ^= 2
+			}
+			return in
+		})}
+	s[SWAP] = spec{name: "SWAP", arity: 2, reversible: true,
+		perm: makePerm(2, func(in uint64) uint64 {
+			return in&1<<1 | in>>1&1
+		})}
+	s[Toffoli] = spec{name: "TOFFOLI", arity: 3, reversible: true,
+		perm: makePerm(3, func(in uint64) uint64 {
+			// targets[0], targets[1] control; targets[2] is flipped.
+			if in&1 == 1 && in&2 == 2 {
+				in ^= 4
+			}
+			return in
+		})}
+	s[Fredkin] = spec{name: "FREDKIN", arity: 3, reversible: true,
+		perm: makePerm(3, func(in uint64) uint64 {
+			// targets[0] controls a swap of targets[1] and targets[2].
+			if in&1 == 1 {
+				b1, b2 := in>>1&1, in>>2&1
+				in = in&1 | b2<<1 | b1<<2
+			}
+			return in
+		})}
+	s[MAJ] = spec{name: "MAJ", arity: 3, reversible: true,
+		perm: makePerm(3, majForward)}
+	s[MAJInv] = spec{name: "MAJ⁻¹", arity: 3, reversible: true,
+		perm: invertPerm(makePerm(3, majForward))}
+	s[SWAP3] = spec{name: "SWAP3", arity: 3, reversible: true,
+		perm: makePerm(3, func(in uint64) uint64 {
+			// SWAP(b0,b1) then SWAP(b1,b2): (a,b,c) -> (b,c,a).
+			a, b, c := in&1, in>>1&1, in>>2&1
+			return b | c<<1 | a<<2
+		})}
+	s[SWAP3Inv] = spec{name: "SWAP3⁻¹", arity: 3, reversible: true,
+		perm: invertPerm(s[SWAP3].perm)}
+	s[Init3] = spec{name: "INIT3", arity: 3, reversible: false,
+		perm: makePerm(3, func(uint64) uint64 { return 0 })}
+	return s
+}
+
+// majForward implements the paper's MAJ construction: flip bits 1 and 2 if
+// bit 0 is set, then flip bit 0 if bits 1 and 2 are both set.
+func majForward(in uint64) uint64 {
+	if in&1 == 1 {
+		in ^= 0b110
+	}
+	if in&0b110 == 0b110 {
+		in ^= 1
+	}
+	return in
+}
+
+func makePerm(arity int, f func(uint64) uint64) []uint8 {
+	n := 1 << uint(arity)
+	p := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		p[i] = uint8(f(uint64(i)))
+	}
+	return p
+}
+
+func invertPerm(p []uint8) []uint8 {
+	inv := make([]uint8, len(p))
+	for i, o := range p {
+		inv[o] = uint8(i)
+	}
+	return inv
+}
+
+// Valid reports whether k names a gate.
+func (k Kind) Valid() bool { return k >= NOT && k <= numKinds }
+
+func (k Kind) spec() *spec {
+	if !k.Valid() {
+		panic(fmt.Sprintf("gate: invalid kind %d", int(k)))
+	}
+	return &specs[k]
+}
+
+// String returns the gate's display name.
+func (k Kind) String() string {
+	if !k.Valid() {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return k.spec().name
+}
+
+// Arity returns the number of bits the gate acts on.
+func (k Kind) Arity() int { return k.spec().arity }
+
+// Reversible reports whether the gate is a permutation of its local states.
+// Only Init3 is not.
+func (k Kind) Reversible() bool { return k.spec().reversible }
+
+// Inverse returns the gate implementing the inverse permutation, and whether
+// one exists (false only for Init3).
+func (k Kind) Inverse() (Kind, bool) {
+	switch k {
+	case NOT, CNOT, SWAP, Toffoli, Fredkin:
+		return k, true // self-inverse
+	case MAJ:
+		return MAJInv, true
+	case MAJInv:
+		return MAJ, true
+	case SWAP3:
+		return SWAP3Inv, true
+	case SWAP3Inv:
+		return SWAP3, true
+	case Init3:
+		return 0, false
+	default:
+		panic(fmt.Sprintf("gate: invalid kind %d", int(k)))
+	}
+}
+
+// Eval applies the gate to a packed local state (targets[0] in bit 0) and
+// returns the packed output. Bits above the gate's arity must be zero.
+func (k Kind) Eval(in uint64) uint64 {
+	s := k.spec()
+	if in >= uint64(len(s.perm)) {
+		panic(fmt.Sprintf("gate: %s input %d out of range", s.name, in))
+	}
+	return uint64(s.perm[in])
+}
+
+// Apply executes the gate in place on the given wires of st. The number of
+// targets must equal the gate's arity, and targets must be distinct.
+func (k Kind) Apply(st *bitvec.Vector, targets ...int) {
+	s := k.spec()
+	if len(targets) != s.arity {
+		panic(fmt.Sprintf("gate: %s wants %d targets, got %d", s.name, s.arity, len(targets)))
+	}
+	var in uint64
+	for i, t := range targets {
+		if st.Get(t) {
+			in |= 1 << uint(i)
+		}
+	}
+	out := uint64(s.perm[in])
+	if out == in {
+		return
+	}
+	for i, t := range targets {
+		st.Set(t, out>>uint(i)&1 == 1)
+	}
+}
+
+// Permutation returns a copy of the gate's local-state table. For Init3 the
+// table is constant zero (not a permutation).
+func (k Kind) Permutation() []uint8 {
+	s := k.spec()
+	out := make([]uint8, len(s.perm))
+	copy(out, s.perm)
+	return out
+}
+
+// FromName returns the gate kind with the given display name (as produced
+// by String), and whether one exists. "MAJ-1" and "SWAP3-1" are accepted as
+// ASCII aliases for the superscript forms.
+func FromName(name string) (Kind, bool) {
+	switch name {
+	case "MAJ-1", "MAJINV":
+		return MAJInv, true
+	case "SWAP3-1", "SWAP3INV":
+		return SWAP3Inv, true
+	}
+	for k := NOT; k <= numKinds; k++ {
+		if specs[k].name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Kinds lists every gate kind, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, numKinds)
+	for k := NOT; k <= numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Majority returns the majority value of three bits.
+func Majority(a, b, c bool) bool {
+	n := 0
+	if a {
+		n++
+	}
+	if b {
+		n++
+	}
+	if c {
+		n++
+	}
+	return n >= 2
+}

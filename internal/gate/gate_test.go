@@ -1,0 +1,326 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"revft/internal/bitvec"
+)
+
+// paperMAJTable is Table 1 of the paper verbatim, states written b0 b1 b2.
+var paperMAJTable = map[string]string{
+	"000": "000",
+	"001": "001",
+	"010": "010",
+	"011": "111",
+	"100": "011",
+	"101": "110",
+	"110": "101",
+	"111": "100",
+}
+
+func stateFromString(s string) uint64 {
+	var x uint64
+	for i := 0; i < len(s); i++ {
+		if s[i] == '1' {
+			x |= 1 << uint(i)
+		}
+	}
+	return x
+}
+
+func TestMAJMatchesPaperTable1(t *testing.T) {
+	for in, want := range paperMAJTable {
+		got := MAJ.Eval(stateFromString(in))
+		if got != stateFromString(want) {
+			t.Errorf("MAJ(%s) = %s, want %s", in, formatState(got, 3), want)
+		}
+	}
+}
+
+func TestMAJFirstBitIsMajority(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		out := MAJ.Eval(in)
+		a, b, c := in&1 == 1, in&2 == 2, in&4 == 4
+		if got, want := out&1 == 1, Majority(a, b, c); got != want {
+			t.Errorf("MAJ(%03b) first output bit = %v, want majority %v", in, got, want)
+		}
+	}
+}
+
+func TestMAJIsDecompositionOfFigure1(t *testing.T) {
+	// Figure 1: CNOT(q0->q1), CNOT(q0->q2), Toffoli(q1,q2 -> q0).
+	for in := uint64(0); in < 8; in++ {
+		st := bitvec.FromUint(in, 3)
+		CNOT.Apply(st, 0, 1)
+		CNOT.Apply(st, 0, 2)
+		Toffoli.Apply(st, 1, 2, 0)
+		if got, want := st.Uint(0, 3), MAJ.Eval(in); got != want {
+			t.Errorf("decomposition(%03b) = %03b, want %03b", in, got, want)
+		}
+	}
+}
+
+func TestAllReversibleGatesAreBijections(t *testing.T) {
+	for _, k := range Kinds() {
+		if !k.Reversible() {
+			continue
+		}
+		perm := k.Permutation()
+		seen := make(map[uint8]bool, len(perm))
+		for _, o := range perm {
+			if seen[o] {
+				t.Errorf("%s permutation repeats output %d", k, o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestInversesCompose(t *testing.T) {
+	for _, k := range Kinds() {
+		inv, ok := k.Inverse()
+		if !ok {
+			if k != Init3 {
+				t.Errorf("%s has no inverse but is not Init3", k)
+			}
+			continue
+		}
+		n := uint64(1) << uint(k.Arity())
+		for in := uint64(0); in < n; in++ {
+			if got := inv.Eval(k.Eval(in)); got != in {
+				t.Errorf("%s⁻¹(%s(%d)) = %d", k, k, in, got)
+			}
+			if got := k.Eval(inv.Eval(in)); got != in {
+				t.Errorf("%s(%s⁻¹(%d)) = %d", k, k, in, got)
+			}
+		}
+	}
+}
+
+func TestSelfInverseGates(t *testing.T) {
+	for _, k := range []Kind{NOT, CNOT, SWAP, Toffoli, Fredkin} {
+		inv, ok := k.Inverse()
+		if !ok || inv != k {
+			t.Errorf("%s should be self-inverse, got %v ok=%v", k, inv, ok)
+		}
+	}
+}
+
+func TestSWAP3IsRotation(t *testing.T) {
+	// (a,b,c) -> (b,c,a)
+	for in := uint64(0); in < 8; in++ {
+		a, b, c := in&1, in>>1&1, in>>2&1
+		want := b | c<<1 | a<<2
+		if got := SWAP3.Eval(in); got != want {
+			t.Errorf("SWAP3(%03b) = %03b, want %03b", in, got, want)
+		}
+	}
+}
+
+func TestSWAP3IsTwoSwaps(t *testing.T) {
+	// Figure 5: SWAP3 = SWAP(q0,q1) then SWAP(q1,q2).
+	for in := uint64(0); in < 8; in++ {
+		st := bitvec.FromUint(in, 3)
+		SWAP.Apply(st, 0, 1)
+		SWAP.Apply(st, 1, 2)
+		if got, want := st.Uint(0, 3), SWAP3.Eval(in); got != want {
+			t.Errorf("two swaps(%03b) = %03b, SWAP3 gives %03b", in, got, want)
+		}
+	}
+}
+
+func TestSWAP3CubeIsIdentity(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		if got := SWAP3.Eval(SWAP3.Eval(SWAP3.Eval(in))); got != in {
+			t.Errorf("SWAP3³(%03b) = %03b", in, got)
+		}
+	}
+}
+
+func TestMAJInvFansOutOnZeroAncillas(t *testing.T) {
+	// The encoding step of Figure 2: MAJ⁻¹ on (x, 0, 0) yields (x, x, x).
+	for _, x := range []uint64{0, 1} {
+		out := MAJInv.Eval(x)
+		want := x * 0b111
+		if out != want {
+			t.Errorf("MAJ⁻¹(%d,0,0) = %03b, want %03b", x, out, want)
+		}
+	}
+}
+
+func TestMAJDecodesMajorityIntoFirstBit(t *testing.T) {
+	// The decoding step of Figure 2: MAJ's first output bit is the majority.
+	for in := uint64(0); in < 8; in++ {
+		out := MAJ.Eval(in)
+		if maj := Majority(in&1 == 1, in&2 == 2, in&4 == 4); (out&1 == 1) != maj {
+			t.Errorf("decode(%03b): first bit %v, majority %v", in, out&1 == 1, maj)
+		}
+	}
+}
+
+func TestInit3(t *testing.T) {
+	if Init3.Reversible() {
+		t.Fatal("Init3 claims to be reversible")
+	}
+	for in := uint64(0); in < 8; in++ {
+		if Init3.Eval(in) != 0 {
+			t.Errorf("Init3(%03b) != 0", in)
+		}
+	}
+}
+
+func TestApplyOnVector(t *testing.T) {
+	st := bitvec.New(10)
+	st.Set(7, true)
+	CNOT.Apply(st, 7, 2)
+	if !st.Get(2) {
+		t.Fatal("CNOT did not flip target")
+	}
+	CNOT.Apply(st, 3, 2) // control clear: no-op
+	if !st.Get(2) {
+		t.Fatal("CNOT with clear control flipped target")
+	}
+	Toffoli.Apply(st, 7, 2, 9)
+	if !st.Get(9) {
+		t.Fatal("Toffoli with both controls set did not flip")
+	}
+	Init3.Apply(st, 7, 2, 9)
+	if st.Get(7) || st.Get(2) || st.Get(9) {
+		t.Fatal("Init3 did not clear targets")
+	}
+}
+
+func TestApplyArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on arity mismatch")
+		}
+	}()
+	CNOT.Apply(bitvec.New(3), 0, 1, 2)
+}
+
+func TestFredkinSemantics(t *testing.T) {
+	// control clear: identity; control set: swap bits 1,2.
+	for in := uint64(0); in < 8; in++ {
+		out := Fredkin.Eval(in)
+		if in&1 == 0 {
+			if out != in {
+				t.Errorf("Fredkin(%03b) with clear control = %03b", in, out)
+			}
+		} else {
+			want := in&1 | in>>2&1<<1 | in>>1&1<<2
+			if out != want {
+				t.Errorf("Fredkin(%03b) = %03b, want %03b", in, out, want)
+			}
+		}
+	}
+}
+
+func TestKindStringAndValid(t *testing.T) {
+	if !MAJ.Valid() || Kind(0).Valid() || Kind(100).Valid() {
+		t.Fatal("Valid() wrong")
+	}
+	if MAJ.String() != "MAJ" || MAJInv.String() != "MAJ⁻¹" {
+		t.Fatalf("names: %s %s", MAJ, MAJInv)
+	}
+	if !strings.Contains(Kind(100).String(), "100") {
+		t.Fatal("invalid kind String should include number")
+	}
+}
+
+func TestTruthTableMatchesEval(t *testing.T) {
+	for _, k := range Kinds() {
+		rows := k.TruthTable()
+		if len(rows) != 1<<uint(k.Arity()) {
+			t.Fatalf("%s truth table has %d rows", k, len(rows))
+		}
+		for _, r := range rows {
+			if k.Eval(r.In) != r.Out {
+				t.Errorf("%s table row %d disagrees with Eval", k, r.In)
+			}
+		}
+	}
+}
+
+func TestFormatTruthTableTable1(t *testing.T) {
+	s := MAJ.FormatTruthTable()
+	// Spot-check two rows of Table 1 in the rendered output.
+	for _, want := range []string{"100    011", "111    100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing row %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMajorityFunction(t *testing.T) {
+	tests := []struct {
+		a, b, c bool
+		want    bool
+	}{
+		{false, false, false, false},
+		{true, false, false, false},
+		{true, true, false, true},
+		{true, true, true, true},
+		{false, true, true, true},
+	}
+	for _, tt := range tests {
+		if got := Majority(tt.a, tt.b, tt.c); got != tt.want {
+			t.Errorf("Majority(%v,%v,%v) = %v", tt.a, tt.b, tt.c, got)
+		}
+	}
+}
+
+// Property: applying a gate and then its inverse restores any state on a
+// wider register, for random target selections.
+func TestPropApplyInverseRoundTrip(t *testing.T) {
+	kinds := []Kind{NOT, CNOT, SWAP, Toffoli, Fredkin, MAJ, MAJInv, SWAP3, SWAP3Inv}
+	f := func(raw uint64, kidx uint8, t0, t1, t2 uint8) bool {
+		k := kinds[int(kidx)%len(kinds)]
+		n := 16
+		targets := distinctTargets(n, int(t0), int(t1), int(t2))[:k.Arity()]
+		st := bitvec.FromUint(raw&0xffff, n)
+		orig := st.Clone()
+		k.Apply(st, targets...)
+		inv, _ := k.Inverse()
+		inv.Apply(st, targets...)
+		return st.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// distinctTargets maps three arbitrary numbers to three distinct wire
+// indices in [0, n).
+func distinctTargets(n, a, b, c int) []int {
+	t0 := a % n
+	if t0 < 0 {
+		t0 += n
+	}
+	t1 := (t0 + 1 + b%(n-1) + n - 1) % n
+	if t1 == t0 {
+		t1 = (t1 + 1) % n
+	}
+	t2 := (t1 + 1 + c%(n-2) + n - 2) % n
+	for t2 == t0 || t2 == t1 {
+		t2 = (t2 + 1) % n
+	}
+	return []int{t0, t1, t2}
+}
+
+func BenchmarkMAJApply(b *testing.B) {
+	st := bitvec.New(9)
+	for i := 0; i < b.N; i++ {
+		MAJ.Apply(st, 0, 1, 2)
+	}
+}
+
+func BenchmarkMAJEval(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= MAJ.Eval(uint64(i) & 7)
+	}
+	_ = sink
+}

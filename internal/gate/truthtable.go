@@ -1,0 +1,51 @@
+package gate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TruthTableRow is one line of a gate's truth table, with input and output
+// packed with targets[0] in bit 0.
+type TruthTableRow struct {
+	In  uint64
+	Out uint64
+}
+
+// TruthTable enumerates the gate's mapping over all 2^arity local states in
+// increasing input order. This regenerates Table 1 of the paper for MAJ.
+func (k Kind) TruthTable() []TruthTableRow {
+	s := k.spec()
+	rows := make([]TruthTableRow, len(s.perm))
+	for i, o := range s.perm {
+		rows[i] = TruthTableRow{In: uint64(i), Out: uint64(o)}
+	}
+	return rows
+}
+
+// FormatTruthTable renders the truth table in the paper's convention: each
+// state written as a bit string with targets[0] leftmost (so the row for MAJ
+// input "100" means targets[0]=1, targets[1]=0, targets[2]=0).
+func (k Kind) FormatTruthTable() string {
+	s := k.spec()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s truth table\nInput  Output\n", s.name)
+	for _, row := range k.TruthTable() {
+		fmt.Fprintf(&b, "%s    %s\n", formatState(row.In, s.arity), formatState(row.Out, s.arity))
+	}
+	return b.String()
+}
+
+// formatState writes a packed local state as a bit string, bit 0 first —
+// matching the paper's "first bit" phrasing.
+func formatState(x uint64, arity int) string {
+	var b strings.Builder
+	for i := 0; i < arity; i++ {
+		if x>>uint(i)&1 == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

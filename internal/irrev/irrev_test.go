@@ -1,0 +1,100 @@
+package irrev
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBothConstructionsComputeNAND(t *testing.T) {
+	for _, c := range []*NANDConstruction{NANDViaToffoli(), NANDViaMAJInv()} {
+		if !c.Correct() {
+			t.Errorf("%s does not compute NAND", c.Name)
+		}
+		for i := 0; i < 4; i++ {
+			a, b := i&1 == 1, i&2 == 2
+			out, _ := c.Eval(a, b)
+			if out != !(a && b) {
+				t.Errorf("%s: NAND(%v,%v) = %v", c.Name, a, b, out)
+			}
+		}
+	}
+}
+
+// TestPaperFootnote4 verifies the paper's optimality claim exactly: the
+// Toffoli construction dissipates 2 bits per cycle; the MAJ⁻¹ construction
+// dissipates exactly 3/2 bits — the optimum for equally likely inputs.
+func TestPaperFootnote4(t *testing.T) {
+	tof := NANDViaToffoli().GarbageEntropy()
+	if math.Abs(tof-2.0) > 1e-12 {
+		t.Fatalf("Toffoli garbage entropy = %v, want 2", tof)
+	}
+	maj := NANDViaMAJInv().GarbageEntropy()
+	if math.Abs(maj-OptimalNANDEntropy) > 1e-12 {
+		t.Fatalf("MAJ⁻¹ garbage entropy = %v, want 3/2", maj)
+	}
+	if maj >= tof {
+		t.Fatal("MAJ⁻¹ construction should strictly beat Toffoli")
+	}
+}
+
+// TestMAJInvGarbageDistribution pins the exact distribution: (1,1) w.p.
+// 1/2; (1,0) and (0,1) w.p. 1/4 each; (0,0) never.
+func TestMAJInvGarbageDistribution(t *testing.T) {
+	counts := make(map[[2]bool]int)
+	c := NANDViaMAJInv()
+	for i := 0; i < 4; i++ {
+		_, g := c.Eval(i&1 == 1, i&2 == 2)
+		counts[g]++
+	}
+	if counts[[2]bool{true, true}] != 2 {
+		t.Fatalf("(1,1) count = %d, want 2", counts[[2]bool{true, true}])
+	}
+	if counts[[2]bool{true, false}] != 1 || counts[[2]bool{false, true}] != 1 {
+		t.Fatalf("single-one counts = %d, %d, want 1, 1",
+			counts[[2]bool{true, false}], counts[[2]bool{false, true}])
+	}
+	if counts[[2]bool{false, false}] != 0 {
+		t.Fatal("(0,0) should never occur")
+	}
+}
+
+func TestMeasuredMatchesExact(t *testing.T) {
+	for _, c := range []*NANDConstruction{NANDViaToffoli(), NANDViaMAJInv()} {
+		exact := c.GarbageEntropy()
+		measured := c.MeasuredGarbageEntropy(200000, 9)
+		if math.Abs(measured-exact) > 0.01 {
+			t.Errorf("%s: measured %v vs exact %v", c.Name, measured, exact)
+		}
+	}
+}
+
+// TestOutputEntropyAccounting: input entropy (2 bits) must equal output
+// entropy: H(out) + H(garbage|out)... at minimum, H(out, garbage) = 2 for a
+// reversible map of uniform inputs with fixed ancillas.
+func TestOutputEntropyAccounting(t *testing.T) {
+	c := NANDViaMAJInv()
+	joint := make(map[[3]bool]int)
+	for i := 0; i < 4; i++ {
+		out, g := c.Eval(i&1 == 1, i&2 == 2)
+		joint[[3]bool{out, g[0], g[1]}]++
+	}
+	// Reversibility: four distinct joint states, each probability 1/4.
+	if len(joint) != 4 {
+		t.Fatalf("joint support size = %d, want 4 (reversibility)", len(joint))
+	}
+	h := 0.0
+	for _, n := range joint {
+		p := float64(n) / 4
+		h -= p * math.Log2(p)
+	}
+	if math.Abs(h-2) > 1e-12 {
+		t.Fatalf("joint entropy = %v, want 2", h)
+	}
+}
+
+func BenchmarkNANDViaMAJInv(b *testing.B) {
+	c := NANDViaMAJInv()
+	for i := 0; i < b.N; i++ {
+		c.Eval(i&1 == 1, i&2 == 0)
+	}
+}

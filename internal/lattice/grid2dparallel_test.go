@@ -1,0 +1,85 @@
+package lattice
+
+import (
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/gate"
+)
+
+func newStateFor(c *Cycle) *bitvec.Vector {
+	return bitvec.New(c.Circuit.Width())
+}
+
+func TestCycle2DParallelSemantics(t *testing.T) {
+	for _, k := range []gate.Kind{gate.MAJ, gate.Toffoli, gate.Fredkin} {
+		testCycleSemantics(t, NewCycle2DParallel(k))
+	}
+}
+
+func TestCycle2DParallelOutputsClean(t *testing.T) {
+	testCycleOutputsAreCleanCodewords(t, NewCycle2DParallel(gate.MAJ))
+}
+
+func TestCycle2DParallelLocal(t *testing.T) {
+	c := NewCycle2DParallel(gate.MAJ)
+	if err := CheckLocal(c.Circuit, c.Layout, nil); err != nil {
+		t.Fatalf("parallel 2D cycle not local: %v", err)
+	}
+}
+
+// TestCycle2DParallelFaultAudit: the ablation result — the parallel
+// interleave swaps data bits of different codewords directly, so unlike the
+// perpendicular scheme it is NOT strictly single-fault tolerant, and every
+// vulnerable op is a pre-gate data-data crossing.
+func TestCycle2DParallelFaultAudit(t *testing.T) {
+	c := NewCycle2DParallel(gate.MAJ)
+	audit := c.AuditSingleFaults()
+	if audit.Tolerant() {
+		t.Fatal("expected crossing-fault failures in the parallel scheme; update EXPERIMENTS.md if this improved")
+	}
+	crossing := c.CrossingOps()
+	for op := range audit.VulnerableOps {
+		if !crossing[op] {
+			t.Fatalf("op %d (%s) vulnerable but not a pre-gate crossing", op, c.Circuit.Op(op))
+		}
+	}
+}
+
+func TestCycle2DParallelSwapBudget(t *testing.T) {
+	// Nine elementary swaps in, nine out (as compacted SWAP3/SWAP ops).
+	c := NewCycle2DParallel(gate.MAJ)
+	elem := 0
+	c.Circuit.Each(func(i int, k gate.Kind, _ []int) {
+		if i >= c.recStart {
+			return
+		}
+		switch k {
+		case gate.SWAP:
+			elem++
+		case gate.SWAP3, gate.SWAP3Inv:
+			elem += 2
+		}
+	})
+	if elem != 2*Interleave2DParSwaps {
+		t.Fatalf("elementary swaps = %d, want %d", elem, 2*Interleave2DParSwaps)
+	}
+}
+
+func TestCycle2DParallelArityCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("2-bit gate accepted")
+		}
+	}()
+	NewCycle2DParallel(gate.CNOT)
+}
+
+func BenchmarkCycle2DParallelRun(b *testing.B) {
+	c := NewCycle2DParallel(gate.MAJ)
+	st := newStateFor(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Circuit.Run(st)
+	}
+}

@@ -1,0 +1,268 @@
+package lattice
+
+import (
+	"fmt"
+
+	"revft/internal/circuit"
+	"revft/internal/gate"
+)
+
+// The 1D logical-operation layout (§3.2): three logical bits b0, b1, b2 live
+// on a 27-cell line, each in a nine-cell segment shaped like the Figure 7
+// steady state — data at segment offsets 0, 3 and 6:
+//
+//	b0: cells 0,3,6   b1: cells 9,12,15   b2: cells 18,21,24
+//
+// To operate transversally, the two outer codewords are interleaved with the
+// middle one: b0's data bits move right (last bit first: 8, 7 and 6 swaps),
+// then b2's move left (first bit first: 10, 8 and 6 swaps) — 45 SWAPs total,
+// at most 24 acting on any one codeword, or 12 SWAP3 per codeword.
+const (
+	// Cycle1DWidth is the number of line cells for a three-codeword cycle.
+	Cycle1DWidth = 27
+	// Interleave1DSwaps is the paper's total SWAP count for interleaving.
+	Interleave1DSwaps = 45
+	// Interleave1DMaxPerCodeword is the paper's bound on SWAPs touching a
+	// single codeword during interleaving.
+	Interleave1DMaxPerCodeword = 24
+	// Interleave1DMaxSwap3PerCodeword is the same bound in SWAP3 units.
+	Interleave1DMaxSwap3PerCodeword = 12
+)
+
+// Cycle1DDataCells returns the home cells of each codeword's data bits.
+func Cycle1DDataCells() [3][]int {
+	return [3][]int{
+		{0, 3, 6},
+		{9, 12, 15},
+		{18, 21, 24},
+	}
+}
+
+// Interleave1D is the generated interleaving schedule.
+type Interleave1D struct {
+	// Swaps lists the elementary adjacent swaps in order, as cell pairs.
+	Swaps [][2]int
+	// Ops is the schedule compacted into SWAP3/SWAP3⁻¹/SWAP gates.
+	Ops []circuit.Op
+	// Triples lists, per transversal index i, the three adjacent cells
+	// that hold (b0[i], b1[i], b2[i]) after interleaving.
+	Triples [3][3]int
+	// FinalCells gives each codeword's data cell positions after
+	// interleaving.
+	FinalCells [3][]int
+}
+
+// NewInterleave1D generates the paper's schedule. It is deterministic; its
+// counts (45 swaps; 24 / 12-SWAP3 per-codeword maxima) are verified in
+// tests against the published numbers.
+func NewInterleave1D() *Interleave1D {
+	r := newLineRouter(Cycle1DWidth)
+	home := Cycle1DDataCells()
+	// Tag each codeword's data bits so the router can track them.
+	for cw, cells := range home {
+		for i, cell := range cells {
+			r.tag(cell, bitID{codeword: cw, index: i})
+		}
+	}
+
+	// Phase 1: b0 moves right toward b1, last bit first, each stopping
+	// just above (before) the matching bit of b1.
+	for i := 2; i >= 0; i-- {
+		target := r.find(bitID{codeword: 1, index: i}) - 1
+		r.moveTo(bitID{codeword: 0, index: i}, target)
+	}
+	// Phase 2: b2 moves left toward b1, first bit first, each stopping
+	// just below (after) the matching bit of b1.
+	for i := 0; i < 3; i++ {
+		target := r.find(bitID{codeword: 1, index: i}) + 1
+		r.moveTo(bitID{codeword: 2, index: i}, target)
+	}
+
+	il := &Interleave1D{
+		Swaps: r.swaps,
+		Ops:   compactSwaps(r.swaps),
+	}
+	for cw := 0; cw < 3; cw++ {
+		cells := make([]int, 3)
+		for i := 0; i < 3; i++ {
+			cells[i] = r.find(bitID{codeword: cw, index: i})
+		}
+		il.FinalCells[cw] = cells
+	}
+	for i := 0; i < 3; i++ {
+		for cw := 0; cw < 3; cw++ {
+			il.Triples[i][cw] = il.FinalCells[cw][i]
+		}
+	}
+	return il
+}
+
+// SwapsTouching counts the elementary swaps that involve a data bit of the
+// given codeword.
+func (il *Interleave1D) SwapsTouching(codeword int) int {
+	return countTouches(il.Swaps, codeword)
+}
+
+// OpsTouching counts the compacted gates that involve a data bit of the
+// given codeword.
+func (il *Interleave1D) OpsTouching(codeword int) int {
+	// Replay the schedule tracking positions, counting compacted ops whose
+	// cells hold any bit of the codeword at application time.
+	r := newLineRouter(Cycle1DWidth)
+	for cw, cells := range Cycle1DDataCells() {
+		for i, cell := range cells {
+			r.tag(cell, bitID{codeword: cw, index: i})
+		}
+	}
+	count := 0
+	for _, op := range il.Ops {
+		touches := false
+		for _, cell := range op.Targets {
+			if id, ok := r.at[cell]; ok && id.codeword == codeword {
+				touches = true
+			}
+		}
+		if touches {
+			count++
+		}
+		applyOpToRouter(r, op)
+	}
+	return count
+}
+
+// bitID identifies a tracked data bit.
+type bitID struct {
+	codeword int
+	index    int
+}
+
+// lineRouter generates adjacent-swap schedules on a line while tracking
+// where tagged bits currently sit.
+type lineRouter struct {
+	n     int
+	at    map[int]bitID // cell -> tag (tracked bits only)
+	pos   map[bitID]int // tag -> cell
+	swaps [][2]int
+}
+
+func newLineRouter(n int) *lineRouter {
+	return &lineRouter{
+		n:   n,
+		at:  make(map[int]bitID),
+		pos: make(map[bitID]int),
+	}
+}
+
+func (r *lineRouter) tag(cell int, id bitID) {
+	r.at[cell] = id
+	r.pos[id] = cell
+}
+
+func (r *lineRouter) find(id bitID) int {
+	cell, ok := r.pos[id]
+	if !ok {
+		panic(fmt.Sprintf("lattice: untracked bit %+v", id))
+	}
+	return cell
+}
+
+// swap records an elementary swap of adjacent cells a and a+1 (order given
+// as (a, b) with |a−b| = 1) and updates tracking.
+func (r *lineRouter) swap(a, b int) {
+	if b != a+1 && b != a-1 {
+		panic(fmt.Sprintf("lattice: swap (%d,%d) is not adjacent", a, b))
+	}
+	r.swaps = append(r.swaps, [2]int{a, b})
+	ia, oka := r.at[a]
+	ib, okb := r.at[b]
+	delete(r.at, a)
+	delete(r.at, b)
+	if oka {
+		r.at[b] = ia
+		r.pos[ia] = b
+	}
+	if okb {
+		r.at[a] = ib
+		r.pos[ib] = a
+	}
+}
+
+// moveTo routes the tagged bit to the target cell with adjacent swaps.
+func (r *lineRouter) moveTo(id bitID, target int) {
+	cur := r.find(id)
+	for cur < target {
+		r.swap(cur, cur+1)
+		cur++
+	}
+	for cur > target {
+		r.swap(cur, cur-1)
+		cur--
+	}
+}
+
+// compactSwaps merges consecutive swap pairs that form a SWAP3 pattern:
+// (i,i+1)(i+1,i+2) becomes SWAP3(i,i+1,i+2) and (i+1,i+2)(i,i+1) becomes
+// SWAP3⁻¹(i,i+1,i+2); everything else stays a SWAP. This is the paper's
+// accounting: two SWAPs on three adjacent bits count as one 3-bit gate.
+func compactSwaps(swaps [][2]int) []circuit.Op {
+	var ops []circuit.Op
+	for i := 0; i < len(swaps); i++ {
+		s := norm(swaps[i])
+		if i+1 < len(swaps) {
+			t := norm(swaps[i+1])
+			if t[0] == s[0]+1 { // (i,i+1) then (i+1,i+2): forward rotation
+				ops = append(ops, circuit.Op{Kind: gate.SWAP3, Targets: []int{s[0], s[1], t[1]}})
+				i++
+				continue
+			}
+			if t[1] == s[0] { // (i+1,i+2) then (i,i+1): backward rotation
+				ops = append(ops, circuit.Op{Kind: gate.SWAP3Inv, Targets: []int{t[0], t[1], s[1]}})
+				i++
+				continue
+			}
+		}
+		ops = append(ops, circuit.Op{Kind: gate.SWAP, Targets: []int{s[0], s[1]}})
+	}
+	return ops
+}
+
+func norm(s [2]int) [2]int {
+	if s[0] > s[1] {
+		return [2]int{s[1], s[0]}
+	}
+	return s
+}
+
+func countTouches(swaps [][2]int, codeword int) int {
+	r := newLineRouter(Cycle1DWidth)
+	for cw, cells := range Cycle1DDataCells() {
+		for i, cell := range cells {
+			r.tag(cell, bitID{codeword: cw, index: i})
+		}
+	}
+	count := 0
+	for _, s := range swaps {
+		if id, ok := r.at[s[0]]; ok && id.codeword == codeword {
+			count++
+		} else if id, ok := r.at[s[1]]; ok && id.codeword == codeword {
+			count++
+		}
+		r.swap(s[0], s[1])
+	}
+	return count
+}
+
+func applyOpToRouter(r *lineRouter, op circuit.Op) {
+	switch op.Kind {
+	case gate.SWAP:
+		r.swap(op.Targets[0], op.Targets[1])
+	case gate.SWAP3:
+		r.swap(op.Targets[0], op.Targets[1])
+		r.swap(op.Targets[1], op.Targets[2])
+	case gate.SWAP3Inv:
+		r.swap(op.Targets[1], op.Targets[2])
+		r.swap(op.Targets[0], op.Targets[1])
+	default:
+		panic(fmt.Sprintf("lattice: cannot replay %s", op.Kind))
+	}
+}

@@ -1,0 +1,166 @@
+// Package lattice implements the paper's §3: fault-tolerant reversible
+// logic when bits may only interact with their nearest neighbors, in one and
+// two dimensions.
+//
+// It provides the locality model (gates act on at most three neighboring
+// bits), the local error-recovery circuits (Figure 7 for 1D; Figure 2 placed
+// on the Figure 4 patch for 2D), the SWAP3-based interleaving schedules
+// (Figures 4–6), and complete local logical-gate cycles whose gate counts
+// reproduce the paper's threshold accounting.
+package lattice
+
+import (
+	"fmt"
+
+	"revft/internal/circuit"
+	"revft/internal/gate"
+)
+
+// Point is a lattice coordinate.
+type Point struct {
+	X, Y int
+}
+
+// Layout assigns each wire a lattice position.
+type Layout interface {
+	// Pos returns the coordinate of a wire.
+	Pos(wire int) Point
+	// Wires returns the number of wires placed.
+	Wires() int
+}
+
+// Line places wire w at (w, 0): a one-dimensional array of bits.
+type Line struct {
+	N int
+}
+
+// Pos implements Layout.
+func (l Line) Pos(wire int) Point { return Point{X: wire} }
+
+// Wires implements Layout.
+func (l Line) Wires() int { return l.N }
+
+// Grid places wire w at (w mod W, w div W) on a W-wide grid.
+type Grid struct {
+	W, H int
+}
+
+// Pos implements Layout.
+func (g Grid) Pos(wire int) Point { return Point{X: wire % g.W, Y: wire / g.W} }
+
+// Wires implements Layout.
+func (g Grid) Wires() int { return g.W * g.H }
+
+// Placed assigns explicit coordinates per wire (used for the Figure 4 patch,
+// whose q-numbering does not follow raster order).
+type Placed struct {
+	Points []Point
+}
+
+// Pos implements Layout.
+func (p Placed) Pos(wire int) Point { return p.Points[wire] }
+
+// Wires implements Layout.
+func (p Placed) Wires() int { return len(p.Points) }
+
+// LocalOp reports whether a gate on the given wires respects the paper's
+// near-neighbor rule under the layout: a 1-bit gate is always local; a 2-bit
+// gate needs orthogonally adjacent cells; a 3-bit gate needs three
+// consecutive collinear cells (a straight run of three along a row or
+// column). Target order is irrelevant — only the set of positions matters.
+func LocalOp(l Layout, targets []int) bool {
+	switch len(targets) {
+	case 1:
+		return true
+	case 2:
+		a, b := l.Pos(targets[0]), l.Pos(targets[1])
+		return manhattan(a, b) == 1
+	case 3:
+		return collinearRun(l.Pos(targets[0]), l.Pos(targets[1]), l.Pos(targets[2]))
+	default:
+		return false
+	}
+}
+
+func manhattan(a, b Point) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// collinearRun reports whether three points form a contiguous straight run
+// of three cells along a row or column.
+func collinearRun(a, b, c Point) bool {
+	if a.Y == b.Y && b.Y == c.Y {
+		return consecutive(a.X, b.X, c.X)
+	}
+	if a.X == b.X && b.X == c.X {
+		return consecutive(a.Y, b.Y, c.Y)
+	}
+	return false
+}
+
+// consecutive reports whether {a, b, c} = {m, m+1, m+2} for some m.
+func consecutive(a, b, c int) bool {
+	lo, mid, hi := sort3(a, b, c)
+	return mid == lo+1 && hi == lo+2
+}
+
+func sort3(a, b, c int) (lo, mid, hi int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// LocalityError reports the first non-local op found by CheckLocal.
+type LocalityError struct {
+	OpIndex int
+	Op      circuit.Op
+}
+
+// Error implements error.
+func (e *LocalityError) Error() string {
+	return fmt.Sprintf("lattice: op %d (%s) is not local", e.OpIndex, e.Op)
+}
+
+// CheckLocal verifies every op of c against the layout, returning a
+// *LocalityError for the first violation. Ops whose kind satisfies exempt
+// are skipped: the paper's three-bit initialization is an error-accounting
+// convention (each bit is physically reset in place), so Init3 is normally
+// exempted via InitExempt.
+func CheckLocal(c *circuit.Circuit, l Layout, exempt func(gate.Kind) bool) error {
+	if c.Width() > l.Wires() {
+		return fmt.Errorf("lattice: circuit width %d exceeds layout size %d", c.Width(), l.Wires())
+	}
+	var found *LocalityError
+	c.Each(func(i int, k gate.Kind, targets []int) {
+		if found != nil {
+			return
+		}
+		if exempt != nil && exempt(k) {
+			return
+		}
+		if !LocalOp(l, targets) {
+			found = &LocalityError{OpIndex: i, Op: c.Op(i)}
+		}
+	})
+	if found != nil {
+		return found
+	}
+	return nil
+}
+
+// InitExempt exempts initialization from locality checking (see CheckLocal).
+func InitExempt(k gate.Kind) bool { return k == gate.Init3 }

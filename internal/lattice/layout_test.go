@@ -1,0 +1,106 @@
+package lattice
+
+import (
+	"errors"
+	"testing"
+
+	"revft/internal/circuit"
+)
+
+func TestLocalOpLine(t *testing.T) {
+	l := Line{N: 10}
+	tests := []struct {
+		targets []int
+		want    bool
+	}{
+		{[]int{4}, true},
+		{[]int{4, 5}, true},
+		{[]int{5, 4}, true},
+		{[]int{4, 6}, false},
+		{[]int{4, 5, 6}, true},
+		{[]int{6, 4, 5}, true}, // order irrelevant
+		{[]int{4, 5, 7}, false},
+		{[]int{0, 1, 2}, true},
+		{[]int{0, 2, 4}, false},
+	}
+	for _, tt := range tests {
+		if got := LocalOp(l, tt.targets); got != tt.want {
+			t.Errorf("LocalOp(line, %v) = %v, want %v", tt.targets, got, tt.want)
+		}
+	}
+}
+
+func TestLocalOpGrid(t *testing.T) {
+	g := Grid{W: 4, H: 4} // wire = y*4+x
+	tests := []struct {
+		targets []int
+		want    bool
+	}{
+		{[]int{5, 6}, true},      // horizontal neighbors
+		{[]int{5, 9}, true},      // vertical neighbors
+		{[]int{5, 10}, false},    // diagonal
+		{[]int{4, 5, 6}, true},   // horizontal run
+		{[]int{1, 5, 9}, true},   // vertical run
+		{[]int{9, 1, 5}, true},   // order irrelevant
+		{[]int{0, 1, 5}, false},  // L-shape
+		{[]int{0, 1, 3}, false},  // gap
+		{[]int{0, 5, 10}, false}, // diagonal run
+	}
+	for _, tt := range tests {
+		if got := LocalOp(g, tt.targets); got != tt.want {
+			t.Errorf("LocalOp(grid, %v) = %v, want %v", tt.targets, got, tt.want)
+		}
+	}
+}
+
+func TestCheckLocal(t *testing.T) {
+	l := Line{N: 5}
+	local := circuit.New(5).CNOT(0, 1).MAJ(2, 3, 4).Swap3(1, 2, 3)
+	if err := CheckLocal(local, l, nil); err != nil {
+		t.Fatalf("local circuit rejected: %v", err)
+	}
+
+	nonlocal := circuit.New(5).CNOT(0, 1).CNOT(0, 4)
+	err := CheckLocal(nonlocal, l, nil)
+	var lerr *LocalityError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("expected LocalityError, got %v", err)
+	}
+	if lerr.OpIndex != 1 {
+		t.Fatalf("violation at op %d, want 1", lerr.OpIndex)
+	}
+}
+
+func TestCheckLocalExemption(t *testing.T) {
+	l := Line{N: 9}
+	c := circuit.New(9).Init3(1, 2, 4) // non-local init
+	if err := CheckLocal(c, l, nil); err == nil {
+		t.Fatal("non-local init passed without exemption")
+	}
+	if err := CheckLocal(c, l, InitExempt); err != nil {
+		t.Fatalf("exempted init rejected: %v", err)
+	}
+}
+
+func TestCheckLocalWidthMismatch(t *testing.T) {
+	if err := CheckLocal(circuit.New(10), Line{N: 5}, nil); err == nil {
+		t.Fatal("oversized circuit passed")
+	}
+}
+
+func TestPlacedLayout(t *testing.T) {
+	p := Placed{Points: []Point{{0, 0}, {2, 3}}}
+	if p.Wires() != 2 || p.Pos(1) != (Point{2, 3}) {
+		t.Fatal("Placed layout wrong")
+	}
+}
+
+func TestGridPositions(t *testing.T) {
+	g := Grid{W: 3, H: 2}
+	if g.Wires() != 6 {
+		t.Fatal("Grid.Wires wrong")
+	}
+	if g.Pos(4) != (Point{1, 1}) {
+		t.Fatalf("Grid.Pos(4) = %v", g.Pos(4))
+	}
+}

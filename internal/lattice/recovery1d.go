@@ -1,0 +1,94 @@
+package lattice
+
+import (
+	"revft/internal/circuit"
+	"revft/internal/gate"
+)
+
+// Geometry and accounting for the one-dimensional local recovery circuit
+// (Figure 7). The line holds, in order, the cells
+//
+//	[d0 a a d1 a a d2 a a]
+//
+// so the codeword lives on cells 0, 3 and 6 with two ancillas after each
+// data bit. The cycle maps data (0,3,6) back to (0,3,6): its output pattern
+// equals its input pattern, so cycles chain indefinitely.
+var (
+	// Recovery1DDataWires hold the input codeword.
+	Recovery1DDataWires = []int{0, 3, 6}
+	// Recovery1DOutputWires hold the recovered codeword.
+	Recovery1DOutputWires = []int{0, 3, 6}
+)
+
+// Gate counts for the 1D recovery (§3.2): six MAJ gates, nine SWAPs counted
+// as four SWAP3 plus one SWAP, and six initializations counted as two 3-bit
+// initializations — 13 gates, or 11 neglecting initialization.
+const (
+	// Recovery1DWidth is the number of line cells used.
+	Recovery1DWidth = 9
+	// Recovery1DOps is the op count with initialization counted: 13 gates
+	// (§3.2: "a total of 11 gates or 13 gates, with or without
+	// initialization").
+	Recovery1DOps = 13
+	// Recovery1DOpsNoInit neglects the two initializations.
+	Recovery1DOpsNoInit = 11
+)
+
+// Recovery1D builds Figure 7: the fault-tolerant error-recovery circuit
+// using only nearest-neighbor operations on a line of nine bits.
+//
+// Structure: initialize the six ancillas (two 3-bit initializations, exempt
+// from locality — each bit is physically reset in place), fan each data bit
+// into its two neighboring ancillas with MAJ⁻¹, interleave the three
+// resulting codeword copies with nine nearest-neighbor SWAPs (compacted to
+// four SWAP3 gates and one SWAP), and decode each now-adjacent block of
+// three with MAJ. Outputs land on cells 0, 3 and 6.
+func Recovery1D() *circuit.Circuit {
+	c := circuit.New(Recovery1DWidth)
+	// Ancillas are cells 1,2,4,5,7,8; two 3-bit initialization operations.
+	c.Init3(1, 2, 4)
+	c.Init3(5, 7, 8)
+	// Encoding: each data bit with its two adjacent fresh ancillas.
+	c.MAJInv(0, 1, 2)
+	c.MAJInv(3, 4, 5)
+	c.MAJInv(6, 7, 8)
+	// Interleave: realize the 3x3 transpose of the copies with nine
+	// adjacent swaps — the minimum, equal to the permutation's inversion
+	// count — grouped into four SWAP3 gates and one SWAP:
+	//   (2,3)(3,4) (5,6)(6,7) (1,2) (4,5)(5,6) (3,4)(2,3).
+	c.Swap3(2, 3, 4)
+	c.Swap3(5, 6, 7)
+	c.Swap(1, 2)
+	c.Swap3(4, 5, 6)
+	c.Append(gate.SWAP3Inv, 2, 3, 4)
+	// Decoding: each block of three cells now holds one copy of every data
+	// bit; MAJ writes its majority into the block's first cell.
+	c.MAJ(0, 1, 2)
+	c.MAJ(3, 4, 5)
+	c.MAJ(6, 7, 8)
+	return c
+}
+
+// Recovery1DLabels returns display labels matching Figure 7's wire order.
+func Recovery1DLabels() []string {
+	return []string{
+		"q0", "q3=|0⟩", "q6=|0⟩",
+		"q1", "q4=|0⟩", "q7=|0⟩",
+		"q2", "q5=|0⟩", "q8=|0⟩",
+	}
+}
+
+// Recovery1DSwapCount returns the number of elementary SWAPs the interleave
+// performs (each SWAP3 counts as two).
+func Recovery1DSwapCount() int {
+	n := 0
+	Recovery1D().Each(func(_ int, k gate.Kind, _ []int) {
+		switch k {
+		case gate.SWAP:
+			n++
+		case gate.SWAP3, gate.SWAP3Inv:
+			n += 2
+		}
+	})
+	return n
+}

@@ -1,0 +1,158 @@
+package lattice
+
+import (
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/code"
+	"revft/internal/gate"
+	"revft/internal/noise"
+	"revft/internal/sim"
+)
+
+func TestRecovery1DGateCensus(t *testing.T) {
+	c := Recovery1D()
+	if c.Len() != Recovery1DOps {
+		t.Fatalf("ops = %d, want %d", c.Len(), Recovery1DOps)
+	}
+	counts := c.CountByKind()
+	if counts[gate.Init3] != 2 {
+		t.Errorf("INIT3 count = %d, want 2 (six initializations as two 3-bit ops)", counts[gate.Init3])
+	}
+	if counts[gate.MAJ] != 3 || counts[gate.MAJInv] != 3 {
+		t.Errorf("MAJ census = %d+%d, want 3+3 (six MAJ gates)", counts[gate.MAJ], counts[gate.MAJInv])
+	}
+	if got := counts[gate.SWAP3] + counts[gate.SWAP3Inv]; got != 4 {
+		t.Errorf("SWAP3 count = %d, want 4", got)
+	}
+	if counts[gate.SWAP] != 1 {
+		t.Errorf("SWAP count = %d, want 1", counts[gate.SWAP])
+	}
+	if Recovery1DOpsNoInit != Recovery1DOps-2 {
+		t.Fatal("no-init count should drop exactly the initializations")
+	}
+}
+
+func TestRecovery1DNineSwaps(t *testing.T) {
+	// §3.2: "The error correction circuit requires six MAJ gates, nine
+	// SWAPs, and six initializations."
+	if got := Recovery1DSwapCount(); got != 9 {
+		t.Fatalf("elementary swaps = %d, want 9", got)
+	}
+}
+
+func TestRecovery1DIsLocal(t *testing.T) {
+	err := CheckLocal(Recovery1D(), Line{N: Recovery1DWidth}, InitExempt)
+	if err != nil {
+		t.Fatalf("1D recovery is not nearest-neighbor local: %v", err)
+	}
+	// Without the init exemption the only violations must be the two
+	// initializations (a physical reset is per-bit; the 3-bit grouping is
+	// the paper's accounting convention).
+	if err := CheckLocal(Recovery1D(), Line{N: Recovery1DWidth}, nil); err == nil {
+		t.Fatal("expected the grouped initializations to be flagged without exemption")
+	}
+}
+
+func TestRecovery1DNoiseless(t *testing.T) {
+	c := Recovery1D()
+	for _, v := range []bool{false, true} {
+		st := bitvec.New(Recovery1DWidth)
+		code.EncodeInto(st, Recovery1DDataWires, v, 1)
+		// Dirty ancillas to exercise initialization.
+		st.Set(1, true)
+		st.Set(7, true)
+		c.Run(st)
+		for _, w := range Recovery1DOutputWires {
+			if st.Get(w) != v {
+				t.Fatalf("value %v: output cell %d = %v", v, w, st.Get(w))
+			}
+		}
+	}
+}
+
+func TestRecovery1DCorrectsSingleInputError(t *testing.T) {
+	c := Recovery1D()
+	for _, v := range []bool{false, true} {
+		for _, e := range Recovery1DDataWires {
+			st := bitvec.New(Recovery1DWidth)
+			code.EncodeInto(st, Recovery1DDataWires, v, 1)
+			st.Flip(e)
+			c.Run(st)
+			for _, w := range Recovery1DOutputWires {
+				if st.Get(w) != v {
+					t.Fatalf("value %v, input error at %d: output %d wrong", v, e, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRecovery1DMajorityRecode: on arbitrary (not necessarily valid)
+// codeword inputs, each output equals the input majority — the same
+// semantics as the non-local Figure 2.
+func TestRecovery1DMajorityRecode(t *testing.T) {
+	c := Recovery1D()
+	for d := uint64(0); d < 8; d++ {
+		st := bitvec.New(Recovery1DWidth)
+		for i, w := range Recovery1DDataWires {
+			st.Set(w, d>>uint(i)&1 == 1)
+		}
+		c.Run(st)
+		want := gate.Majority(d&1 == 1, d&2 == 2, d&4 == 4)
+		for _, w := range Recovery1DOutputWires {
+			if st.Get(w) != want {
+				t.Fatalf("input %03b: output cell %d = %v, want majority %v", d, w, st.Get(w), want)
+			}
+		}
+	}
+}
+
+// TestRecovery1DSingleFaultExhaustive proves the fault-tolerance claim for
+// the local circuit: any single randomizing fault leaves the output within
+// Hamming distance 1 of the ideal codeword and the logical value intact.
+func TestRecovery1DSingleFaultExhaustive(t *testing.T) {
+	c := Recovery1D()
+	cases := 0
+	for _, v := range []bool{false, true} {
+		sim.ForEachSingleFault(c, func(op int, val uint64) {
+			cases++
+			st := bitvec.New(Recovery1DWidth)
+			code.EncodeInto(st, Recovery1DDataWires, v, 1)
+			sim.RunInjected(c, st, noise.NewPlan(noise.Injection{OpIndex: op, Value: val}))
+
+			wrong := 0
+			for _, w := range Recovery1DOutputWires {
+				if st.Get(w) != v {
+					wrong++
+				}
+			}
+			if wrong > 1 {
+				t.Fatalf("value %v, fault (op %d = %s, val %03b): %d output errors",
+					v, op, c.Op(op), val, wrong)
+			}
+			if code.Decode(st, Recovery1DOutputWires, 1) != v {
+				t.Fatalf("value %v, fault (op %d, val %03b): logical value flipped", v, op, val)
+			}
+		})
+	}
+	// 13 ops: 1 is 2-bit (SWAP, 4 fault values), 12 are 3-bit (8 values).
+	want := 2 * (12*8 + 1*4)
+	if cases != want {
+		t.Fatalf("enumerated %d cases, want %d", cases, want)
+	}
+}
+
+func TestRecovery1DLabels(t *testing.T) {
+	if len(Recovery1DLabels()) != Recovery1DWidth {
+		t.Fatal("label count mismatch")
+	}
+}
+
+func BenchmarkRecovery1D(b *testing.B) {
+	c := Recovery1D()
+	st := bitvec.New(Recovery1DWidth)
+	for i := 0; i < b.N; i++ {
+		c.Run(st)
+	}
+}

@@ -1,0 +1,79 @@
+package noise
+
+import (
+	"revft/internal/gate"
+	"revft/internal/rng"
+)
+
+// The paper's analysis assumes independent gate failures, noting (§2) that
+// it still applies "as long as the probability that k out of G gates fail
+// is less than C(G,k)·g^k·(1−g)^{G−k}" — i.e. as long as failures are not
+// positively correlated beyond the binomial. Burst implements the opposite
+// regime to probe that boundary: temporally correlated failures, where each
+// fault triggers a follow-on fault at the next operation with probability
+// Corr. Correlated pairs are exactly what defeats a single-fault-tolerant
+// code, so the threshold degrades as Corr grows.
+
+// Sampler is a stateful per-execution fault process. Implementations are
+// not safe for concurrent use; create one per trial with NewSampler.
+type Sampler interface {
+	// Fault reports whether the next executed op (of kind k) faults.
+	Fault(k gate.Kind, r *rng.RNG) bool
+}
+
+// Process creates independent samplers, one per circuit execution.
+type Process interface {
+	NewSampler() Sampler
+}
+
+// Burst is the correlated model: ops fault spontaneously at rate Gate
+// (Init for Init3), and any fault forces the immediately following op to
+// fault as well with probability Corr.
+type Burst struct {
+	Gate float64
+	Init float64
+	Corr float64
+}
+
+// Marginal returns the asymptotic per-op fault probability of the burst
+// process for the given spontaneous rate g: faults arrive in geometric
+// bursts of mean length 1/(1−Corr), so the marginal rate is approximately
+// g/(1−Corr·(1−g)) ≈ g·(1+Corr) for small g.
+func (b Burst) Marginal() float64 {
+	g := b.Gate
+	return g / (1 - b.Corr*(1-g))
+}
+
+// NewSampler implements Process.
+func (b Burst) NewSampler() Sampler {
+	return &burstSampler{model: b}
+}
+
+type burstSampler struct {
+	model     Burst
+	lastFault bool
+}
+
+// Fault implements Sampler.
+func (s *burstSampler) Fault(k gate.Kind, r *rng.RNG) bool {
+	p := s.model.Gate
+	if k == gate.Init3 {
+		p = s.model.Init
+	}
+	fault := r.Bool(p)
+	if s.lastFault && r.Bool(s.model.Corr) {
+		fault = true
+	}
+	s.lastFault = fault
+	return fault
+}
+
+// NewSampler lets the IID model be used wherever a Process is expected.
+func (m IID) NewSampler() Sampler { return iidSampler{m} }
+
+type iidSampler struct{ m IID }
+
+// Fault implements Sampler.
+func (s iidSampler) Fault(k gate.Kind, r *rng.RNG) bool {
+	return r.Bool(s.m.FaultProb(k))
+}

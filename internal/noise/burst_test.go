@@ -1,0 +1,112 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"revft/internal/gate"
+	"revft/internal/rng"
+)
+
+func TestBurstZeroCorrIsIID(t *testing.T) {
+	// With Corr = 0 the burst process has the IID marginal.
+	b := Burst{Gate: 0.05}
+	if got := b.Marginal(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("Marginal = %v, want 0.05", got)
+	}
+	s := b.NewSampler()
+	r := rng.New(1)
+	const n = 200000
+	faults := 0
+	for i := 0; i < n; i++ {
+		if s.Fault(gate.MAJ, r) {
+			faults++
+		}
+	}
+	rate := float64(faults) / n
+	if math.Abs(rate-0.05) > 0.005 {
+		t.Fatalf("uncorrelated burst rate = %v", rate)
+	}
+}
+
+func TestBurstMarginalMatchesSimulation(t *testing.T) {
+	b := Burst{Gate: 0.02, Corr: 0.5}
+	s := b.NewSampler()
+	r := rng.New(2)
+	const n = 500000
+	faults := 0
+	for i := 0; i < n; i++ {
+		if s.Fault(gate.MAJ, r) {
+			faults++
+		}
+	}
+	rate := float64(faults) / n
+	if math.Abs(rate-b.Marginal())/b.Marginal() > 0.05 {
+		t.Fatalf("simulated marginal %v vs analytic %v", rate, b.Marginal())
+	}
+}
+
+func TestBurstCorrelation(t *testing.T) {
+	// Consecutive faults must be positively correlated: P(fault | previous
+	// fault) ≈ g + (1−g)·Corr, far above the marginal.
+	b := Burst{Gate: 0.02, Corr: 0.8}
+	s := b.NewSampler()
+	r := rng.New(3)
+	const n = 500000
+	prev := false
+	afterFault, afterFaultHits := 0, 0
+	for i := 0; i < n; i++ {
+		f := s.Fault(gate.MAJ, r)
+		if prev {
+			afterFault++
+			if f {
+				afterFaultHits++
+			}
+		}
+		prev = f
+	}
+	pCond := float64(afterFaultHits) / float64(afterFault)
+	want := b.Gate + (1-b.Gate)*b.Corr
+	if math.Abs(pCond-want) > 0.02 {
+		t.Fatalf("P(fault|fault) = %v, want ≈ %v", pCond, want)
+	}
+}
+
+func TestBurstInitRate(t *testing.T) {
+	b := Burst{Gate: 0, Init: 0.5}
+	s := b.NewSampler()
+	r := rng.New(4)
+	initFaults, gateFaults := 0, 0
+	for i := 0; i < 10000; i++ {
+		if s.Fault(gate.Init3, r) {
+			initFaults++
+		}
+		if s.Fault(gate.MAJ, r) {
+			gateFaults++
+		}
+	}
+	if initFaults < 4000 || initFaults > 6000 {
+		t.Fatalf("init faults = %d of 10000", initFaults)
+	}
+	// Gate faults only via correlation, which is 0 here.
+	if gateFaults != 0 {
+		t.Fatalf("gate faults = %d, want 0", gateFaults)
+	}
+}
+
+func TestIIDAsProcess(t *testing.T) {
+	var p Process = Uniform(0.1)
+	s := p.NewSampler()
+	r := rng.New(5)
+	faults := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Fault(gate.CNOT, r) {
+			faults++
+		}
+	}
+	rate := float64(faults) / n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("IID sampler rate = %v", rate)
+	}
+}

@@ -1,0 +1,90 @@
+// Package noise implements the paper's error model and deterministic fault
+// injection.
+//
+// The model (§2): at each application, a gate randomizes all the bits it is
+// applied to with probability g. Faults on distinct gate applications are
+// independent. Initialization operations (Init3) may carry their own error
+// probability — the paper computes thresholds both ways (counting
+// initialization at the gate rate, G = 11, and assuming far more accurate
+// initialization, G = 9).
+//
+// A randomizing fault replaces the gate's output bits with uniform random
+// values; since the uniform distribution is invariant under any fixed
+// permutation, "randomize after applying" and "randomize instead of
+// applying" are the same channel. We randomize after applying.
+package noise
+
+import (
+	"revft/internal/gate"
+)
+
+// Model assigns a fault probability to each gate application.
+type Model interface {
+	// FaultProb returns the probability that an application of k
+	// randomizes its target bits.
+	FaultProb(k gate.Kind) float64
+}
+
+// IID is the paper's independent gate-failure model: every reversible gate
+// faults with probability Gate, and every Init3 with probability Init.
+type IID struct {
+	Gate float64
+	Init float64
+}
+
+// Uniform returns an IID model where initialization is as noisy as any other
+// gate (the paper's G = 11 / G = 16 / G = 13 accounting).
+func Uniform(g float64) IID { return IID{Gate: g, Init: g} }
+
+// PerfectInit returns an IID model with noiseless initialization (the
+// paper's G = 9 / G = 14 / G = 11 accounting).
+func PerfectInit(g float64) IID { return IID{Gate: g} }
+
+// FaultProb implements Model.
+func (m IID) FaultProb(k gate.Kind) float64 {
+	if k == gate.Init3 {
+		return m.Init
+	}
+	return m.Gate
+}
+
+// Noiseless is a Model under which nothing ever faults.
+var Noiseless Model = IID{}
+
+// Idle extends the paper's model for scheduled (moment-by-moment) execution:
+// gates fail as in IID, and in every time step each wire *not* acted on
+// flips with probability Idle. The paper's model has noiseless idle bits;
+// idle noise is the natural ablation for comparing architectures whose
+// routing overhead differs — the 1D scheme's deep SWAP networks leave data
+// idle far longer than the 2D scheme's.
+type Idle struct {
+	Gate float64
+	Init float64
+	Idle float64
+}
+
+// GateModel returns the IID model governing the gate faults.
+func (m Idle) GateModel() IID { return IID{Gate: m.Gate, Init: m.Init} }
+
+// Injection pins a deterministic fault: after op OpIndex applies ideally,
+// the local state of its targets is overwritten with Value (targets[0] in
+// bit 0). Injections drive the exhaustive fault-tolerance proofs: a
+// randomizing fault can produce any Value, so quantifying over all Values
+// covers everything the random channel can do.
+type Injection struct {
+	OpIndex int
+	Value   uint64
+}
+
+// Plan is a set of injections, at most one per op index.
+type Plan map[int]uint64
+
+// NewPlan builds a Plan from injections. Later duplicates overwrite earlier
+// ones.
+func NewPlan(injs ...Injection) Plan {
+	p := make(Plan, len(injs))
+	for _, in := range injs {
+		p[in.OpIndex] = in.Value
+	}
+	return p
+}

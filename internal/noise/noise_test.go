@@ -1,0 +1,51 @@
+package noise
+
+import (
+	"testing"
+
+	"revft/internal/gate"
+)
+
+func TestUniform(t *testing.T) {
+	m := Uniform(0.01)
+	for _, k := range gate.Kinds() {
+		if got := m.FaultProb(k); got != 0.01 {
+			t.Errorf("Uniform FaultProb(%s) = %v", k, got)
+		}
+	}
+}
+
+func TestPerfectInit(t *testing.T) {
+	m := PerfectInit(0.01)
+	if got := m.FaultProb(gate.Init3); got != 0 {
+		t.Errorf("PerfectInit FaultProb(Init3) = %v, want 0", got)
+	}
+	if got := m.FaultProb(gate.MAJ); got != 0.01 {
+		t.Errorf("PerfectInit FaultProb(MAJ) = %v", got)
+	}
+}
+
+func TestNoiseless(t *testing.T) {
+	for _, k := range gate.Kinds() {
+		if Noiseless.FaultProb(k) != 0 {
+			t.Errorf("Noiseless faults %s", k)
+		}
+	}
+}
+
+func TestIIDSeparateRates(t *testing.T) {
+	m := IID{Gate: 0.1, Init: 0.2}
+	if m.FaultProb(gate.CNOT) != 0.1 || m.FaultProb(gate.Init3) != 0.2 {
+		t.Fatal("IID rates not routed by kind")
+	}
+}
+
+func TestNewPlan(t *testing.T) {
+	p := NewPlan(Injection{OpIndex: 2, Value: 5}, Injection{OpIndex: 2, Value: 7})
+	if len(p) != 1 || p[2] != 7 {
+		t.Fatalf("NewPlan = %v, want later duplicate to win", p)
+	}
+	if _, ok := p[0]; ok {
+		t.Fatal("plan contains unplanned index")
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/noise"
+	"revft/internal/rng"
+)
+
+// Scheduled is a circuit compiled for moment-by-moment execution: ops are
+// grouped into parallel time steps (no two ops in a step share a wire), and
+// each step knows which wires it leaves idle. Compile once, run many times.
+type Scheduled struct {
+	width   int
+	moments [][]circuit.Op
+	// idle[m] lists the wires no op touches during moment m.
+	idle [][]int
+}
+
+// NewScheduled compiles c into its moment schedule.
+func NewScheduled(c *circuit.Circuit) *Scheduled {
+	moments := c.Moments()
+	s := &Scheduled{
+		width:   c.Width(),
+		moments: moments,
+		idle:    make([][]int, len(moments)),
+	}
+	for m, ops := range moments {
+		touched := make([]bool, c.Width())
+		for _, o := range ops {
+			for _, t := range o.Targets {
+				touched[t] = true
+			}
+		}
+		for w, tt := range touched {
+			if !tt {
+				s.idle[m] = append(s.idle[m], w)
+			}
+		}
+	}
+	return s
+}
+
+// Depth returns the number of parallel time steps.
+func (s *Scheduled) Depth() int { return len(s.moments) }
+
+// Run executes the schedule on st: each moment applies its gates (faulting
+// per the gate model, randomizing targets) and then flips every idle wire
+// independently with probability m.Idle. It returns the number of gate
+// faults and idle flips.
+func (s *Scheduled) Run(st *bitvec.Vector, m noise.Idle, r *rng.RNG) (gateFaults, idleFlips int) {
+	gm := m.GateModel()
+	for mi, ops := range s.moments {
+		for _, o := range ops {
+			o.Kind.Apply(st, o.Targets...)
+			if p := gm.FaultProb(o.Kind); p > 0 && r.Bool(p) {
+				randomize(st, o.Targets, r)
+				gateFaults++
+			}
+		}
+		if m.Idle > 0 {
+			for _, w := range s.idle[mi] {
+				if r.Bool(m.Idle) {
+					st.Flip(w)
+					idleFlips++
+				}
+			}
+		}
+	}
+	return gateFaults, idleFlips
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/noise"
+	"revft/internal/rng"
+)
+
+func TestScheduledNoiselessSemantics(t *testing.T) {
+	c := circuit.New(5).MAJ(0, 1, 2).CNOT(3, 4).Toffoli(0, 3, 4).Swap(1, 2)
+	s := NewScheduled(c)
+	for in := uint64(0); in < 32; in++ {
+		st := bitvec.FromUint(in, 5)
+		gf, flips := s.Run(st, noise.Idle{}, rng.New(1))
+		if gf != 0 || flips != 0 {
+			t.Fatalf("noiseless run reported faults %d, flips %d", gf, flips)
+		}
+		if got, want := st.Uint(0, 5), c.Eval(in); got != want {
+			t.Fatalf("scheduled(%05b) = %05b, want %05b", in, got, want)
+		}
+	}
+}
+
+func TestScheduledDepthMatchesCircuit(t *testing.T) {
+	c := circuit.New(4).CNOT(0, 1).CNOT(2, 3).CNOT(1, 2)
+	s := NewScheduled(c)
+	if s.Depth() != c.Depth() || s.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", s.Depth())
+	}
+}
+
+func TestScheduledIdleWires(t *testing.T) {
+	// Moment 0 of CNOT(0,1) on a 4-wire circuit leaves wires 2,3 idle.
+	c := circuit.New(4).CNOT(0, 1)
+	s := NewScheduled(c)
+	if len(s.idle[0]) != 2 {
+		t.Fatalf("idle wires = %v, want two", s.idle[0])
+	}
+}
+
+func TestScheduledIdleFlipRate(t *testing.T) {
+	// A 1-op circuit on 101 wires: 100 idle wires for one moment.
+	c := circuit.New(101).NOT(0)
+	s := NewScheduled(c)
+	r := rng.New(3)
+	const trials = 5000
+	flips := 0
+	for i := 0; i < trials; i++ {
+		st := bitvec.New(101)
+		_, f := s.Run(st, noise.Idle{Idle: 0.1}, r)
+		flips += f
+	}
+	rate := float64(flips) / float64(trials*100)
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("idle flip rate = %v, want ~0.1", rate)
+	}
+}
+
+func TestScheduledGateFaults(t *testing.T) {
+	c := circuit.New(3)
+	for i := 0; i < 50; i++ {
+		c.MAJ(0, 1, 2)
+	}
+	s := NewScheduled(c)
+	r := rng.New(4)
+	st := bitvec.New(3)
+	gf, _ := s.Run(st, noise.Idle{Gate: 1}, r)
+	if gf != 50 {
+		t.Fatalf("gate faults = %d, want 50", gf)
+	}
+}
+
+func TestScheduledIdleZeroMatchesRunNoisy(t *testing.T) {
+	// With Idle = 0 the scheduled executor is semantically the same channel
+	// as RunNoisy (different op interleavings, same distribution); check a
+	// summary statistic agrees.
+	c := circuit.New(9)
+	c.Init3(3, 4, 5).Init3(6, 7, 8)
+	for i := 0; i < 3; i++ {
+		c.MAJInv(i, i+3, i+6)
+	}
+	s := NewScheduled(c)
+	const trials = 40000
+	const g = 0.05
+	r1, r2 := rng.New(5), rng.New(6)
+	faults1, faults2 := 0, 0
+	for i := 0; i < trials; i++ {
+		st := bitvec.New(9)
+		faults1 += RunNoisy(c, st, noise.Uniform(g), r1)
+		st2 := bitvec.New(9)
+		f, _ := s.Run(st2, noise.Idle{Gate: g, Init: g}, r2)
+		faults2 += f
+	}
+	rate1 := float64(faults1) / float64(trials*c.Len())
+	rate2 := float64(faults2) / float64(trials*c.Len())
+	if math.Abs(rate1-rate2) > 0.005 {
+		t.Fatalf("fault rates diverge: %v vs %v", rate1, rate2)
+	}
+}
+
+func BenchmarkScheduledRun(b *testing.B) {
+	c := circuit.New(27)
+	for seg := 0; seg < 3; seg++ {
+		o := 9 * seg
+		c.Init3(o+3, o+4, o+5).Init3(o+6, o+7, o+8)
+		for i := 0; i < 3; i++ {
+			c.MAJInv(o+i, o+i+3, o+i+6)
+		}
+		for i := 0; i < 3; i++ {
+			c.MAJ(o+3*i, o+3*i+1, o+3*i+2)
+		}
+	}
+	s := NewScheduled(c)
+	st := bitvec.New(27)
+	m := noise.Idle{Gate: 1e-3, Init: 1e-3, Idle: 1e-4}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(st, m, r)
+	}
+}

@@ -1,0 +1,140 @@
+// Package sim executes reversible circuits under noise.
+//
+// It provides three execution modes:
+//
+//   - RunNoisy: sample the paper's random fault channel once;
+//   - RunInjected: deterministic fault injection from a noise.Plan, used to
+//     prove fault-tolerance claims exhaustively;
+//   - MonteCarlo: a parallel trial harness with per-worker RNG streams.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/gate"
+	"revft/internal/noise"
+	"revft/internal/rng"
+	"revft/internal/stats"
+)
+
+// RunNoisy executes c on st under model m, drawing randomness from r. Each
+// op is applied ideally and then, with its fault probability, its target
+// bits are replaced with uniform random values. It returns the number of
+// faulted ops.
+func RunNoisy(c *circuit.Circuit, st *bitvec.Vector, m noise.Model, r *rng.RNG) int {
+	faults := 0
+	c.Each(func(_ int, k gate.Kind, targets []int) {
+		k.Apply(st, targets...)
+		if p := m.FaultProb(k); p > 0 && r.Bool(p) {
+			randomize(st, targets, r)
+			faults++
+		}
+	})
+	return faults
+}
+
+// RunProcess executes c on st under a stateful fault process: a fresh
+// Sampler decides per-op faults, so temporally correlated models (e.g.
+// noise.Burst) are supported. It returns the number of faulted ops.
+func RunProcess(c *circuit.Circuit, st *bitvec.Vector, s noise.Sampler, r *rng.RNG) int {
+	faults := 0
+	c.Each(func(_ int, k gate.Kind, targets []int) {
+		k.Apply(st, targets...)
+		if s.Fault(k, r) {
+			randomize(st, targets, r)
+			faults++
+		}
+	})
+	return faults
+}
+
+// RunInjected executes c on st, overwriting the targets of each op listed in
+// plan with the planned local value after the op applies ideally.
+func RunInjected(c *circuit.Circuit, st *bitvec.Vector, plan noise.Plan) {
+	c.Each(func(i int, k gate.Kind, targets []int) {
+		k.Apply(st, targets...)
+		if v, ok := plan[i]; ok {
+			setLocal(st, targets, v)
+		}
+	})
+}
+
+// randomize replaces the named bits with fresh uniform random values.
+func randomize(st *bitvec.Vector, targets []int, r *rng.RNG) {
+	v := r.Bits(len(targets))
+	setLocal(st, targets, v)
+}
+
+// setLocal writes local value v onto the target wires, targets[0] in bit 0.
+func setLocal(st *bitvec.Vector, targets []int, v uint64) {
+	for i, t := range targets {
+		st.Set(t, v>>uint(i)&1 == 1)
+	}
+}
+
+// ForEachSingleFault enumerates every possible single randomizing fault in
+// c: every op index paired with every local value its fault could leave
+// behind (including the value the ideal op would have produced — the random
+// channel can emit that too). fn receives the op index and the fault value.
+func ForEachSingleFault(c *circuit.Circuit, fn func(opIdx int, value uint64)) {
+	for i := 0; i < c.Len(); i++ {
+		arity := c.Op(i).Kind.Arity()
+		for v := uint64(0); v < 1<<uint(arity); v++ {
+			fn(i, v)
+		}
+	}
+}
+
+// MonteCarlo runs trials independent executions of trial across workers
+// goroutines and aggregates how many returned true. Each worker receives its
+// own jumped RNG stream derived from seed, so results are reproducible for a
+// fixed (seed, workers) pair. workers <= 0 selects GOMAXPROCS.
+func MonteCarlo(trials, workers int, seed uint64, trial func(r *rng.RNG) bool) stats.Bernoulli {
+	if trials <= 0 {
+		return stats.Bernoulli{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	master := rng.New(seed)
+	streams := make([]*rng.RNG, workers)
+	for i := range streams {
+		streams[i] = master.Jump()
+	}
+
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Spread the remainder so every trial runs exactly once.
+		n := trials / workers
+		if w < trials%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			r := streams[w]
+			hits := 0
+			for i := 0; i < n; i++ {
+				if trial(r) {
+					hits++
+				}
+			}
+			counts[w] = hits
+		}(w, n)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return stats.Bernoulli{Trials: trials, Successes: total}
+}

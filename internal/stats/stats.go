@@ -1,0 +1,126 @@
+// Package stats provides the small statistical toolkit the Monte Carlo
+// experiments need: Bernoulli estimates with Wilson confidence intervals,
+// and logarithmic parameter sweeps.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bernoulli summarizes repeated success/failure trials.
+type Bernoulli struct {
+	Trials    int // total number of trials
+	Successes int // number of "success" outcomes (e.g. logical failures observed)
+}
+
+// Add records n further trials with k successes.
+func (b *Bernoulli) Add(k, n int) {
+	b.Successes += k
+	b.Trials += n
+}
+
+// Rate returns the sample proportion. It returns 0 for zero trials.
+func (b Bernoulli) Rate() float64 {
+	if b.Trials == 0 {
+		return 0
+	}
+	return float64(b.Successes) / float64(b.Trials)
+}
+
+// Wilson returns the Wilson score interval for the underlying probability at
+// the given z value (z = 1.96 for 95% confidence). The interval is valid even
+// when Successes is 0 or equal to Trials, unlike the normal approximation.
+func (b Bernoulli) Wilson(z float64) (lo, hi float64) {
+	n := float64(b.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	p := b.Rate()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String formats the estimate with its 95% Wilson interval.
+func (b Bernoulli) String() string {
+	lo, hi := b.Wilson(1.96)
+	return fmt.Sprintf("%.3g [%.3g, %.3g] (%d/%d)", b.Rate(), lo, hi, b.Successes, b.Trials)
+}
+
+// LogSpace returns n values logarithmically spaced from lo to hi inclusive.
+// It panics unless lo > 0, hi > 0 and n >= 2 (or n == 1 with lo == hi).
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic("stats: LogSpace bounds must be positive")
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	if n < 2 {
+		panic("stats: LogSpace needs n >= 1")
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = math.Exp(llo + f*(lhi-llo))
+	}
+	// Pin endpoints exactly.
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// LinSpace returns n values linearly spaced from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{lo}
+	}
+	if n < 2 {
+		panic("stats: LinSpace needs n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = lo + f*(hi-lo)
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdErr returns the standard error of the mean of xs (sample standard
+// deviation over sqrt(n)). It returns 0 for fewer than two samples.
+func StdErr(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1) / float64(n))
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBernoulliRate(t *testing.T) {
+	var b Bernoulli
+	if b.Rate() != 0 {
+		t.Fatal("empty rate != 0")
+	}
+	b.Add(3, 10)
+	b.Add(1, 10)
+	if b.Trials != 20 || b.Successes != 4 {
+		t.Fatalf("Add accumulated wrong: %+v", b)
+	}
+	if got := b.Rate(); got != 0.2 {
+		t.Fatalf("Rate = %v, want 0.2", got)
+	}
+}
+
+func TestWilsonContainsPointEstimate(t *testing.T) {
+	b := Bernoulli{Trials: 100, Successes: 30}
+	lo, hi := b.Wilson(1.96)
+	if lo >= 0.3 || hi <= 0.3 {
+		t.Fatalf("Wilson [%v,%v] excludes point estimate 0.3", lo, hi)
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("Wilson [%v,%v] outside [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonExtremes(t *testing.T) {
+	// Zero successes: interval must start at 0 and be narrow but nonzero.
+	b := Bernoulli{Trials: 1000, Successes: 0}
+	lo, hi := b.Wilson(1.96)
+	if lo != 0 {
+		t.Fatalf("all-failure lower bound = %v, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.01 {
+		t.Fatalf("all-failure upper bound = %v, want small positive", hi)
+	}
+	// All successes.
+	b = Bernoulli{Trials: 1000, Successes: 1000}
+	lo, hi = b.Wilson(1.96)
+	if hi != 1 {
+		t.Fatalf("all-success upper bound = %v, want 1", hi)
+	}
+	if lo < 0.99 {
+		t.Fatalf("all-success lower bound = %v, want > 0.99", lo)
+	}
+	// Empty: total uncertainty.
+	lo, hi = Bernoulli{}.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonNarrowsWithN(t *testing.T) {
+	small := Bernoulli{Trials: 100, Successes: 50}
+	big := Bernoulli{Trials: 10000, Successes: 5000}
+	slo, shi := small.Wilson(1.96)
+	blo, bhi := big.Wilson(1.96)
+	if bhi-blo >= shi-slo {
+		t.Fatalf("interval did not narrow: small %v, big %v", shi-slo, bhi-blo)
+	}
+}
+
+func TestWilsonKnownValue(t *testing.T) {
+	// Classic reference: 10 successes in 50 trials, z=1.96 gives roughly
+	// [0.112, 0.330].
+	b := Bernoulli{Trials: 50, Successes: 10}
+	lo, hi := b.Wilson(1.96)
+	if math.Abs(lo-0.112) > 0.005 || math.Abs(hi-0.330) > 0.005 {
+		t.Fatalf("Wilson = [%v,%v], want ~[0.112,0.330]", lo, hi)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1e-4, 1e-1, 4)
+	want := []float64{1e-4, 1e-3, 1e-2, 1e-1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i])/want[i] > 1e-9 {
+			t.Fatalf("LogSpace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	if xs[0] != 1e-4 || xs[3] != 1e-1 {
+		t.Fatal("endpoints not pinned")
+	}
+}
+
+func TestLogSpaceSingle(t *testing.T) {
+	xs := LogSpace(0.5, 0.5, 1)
+	if len(xs) != 1 || xs[0] != 0.5 {
+		t.Fatalf("LogSpace single = %v", xs)
+	}
+}
+
+func TestLogSpacePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero lo": func() { LogSpace(0, 1, 3) },
+		"neg hi":  func() { LogSpace(1, -1, 3) },
+		"n=0":     func() { LogSpace(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestMeanStdErr(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample sd of {1,2,3,4} is sqrt(5/3); stderr is that over 2.
+	want := math.Sqrt(5.0/3.0) / 2
+	if got := StdErr(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdErr = %v, want %v", got, want)
+	}
+	if StdErr([]float64{1}) != 0 {
+		t.Fatal("StdErr of single sample != 0")
+	}
+}
+
+func TestBernoulliString(t *testing.T) {
+	s := Bernoulli{Trials: 10, Successes: 2}.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

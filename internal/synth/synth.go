@@ -1,0 +1,212 @@
+// Package synth synthesizes minimal reversible circuits on three wires:
+// given a target permutation of the eight local states and a gate set, a
+// breadth-first search over the permutation group returns a shortest
+// circuit realizing the target (or reports that the gate set cannot reach
+// it).
+//
+// The paper hand-optimizes its circuits ("requiring careful optimization of
+// circuits"); this package makes such optimizations checkable — e.g. it
+// proves that Figure 1's three-gate construction of MAJ from CNOT and
+// Toffoli is optimal.
+package synth
+
+import (
+	"fmt"
+
+	"revft/internal/circuit"
+	"revft/internal/gate"
+)
+
+// Target is a permutation of the 8 three-bit local states: Target[i] is the
+// image of state i (wire 0 in bit 0).
+type Target [8]uint8
+
+// Identity returns the identity target.
+func Identity() Target {
+	return Target{0, 1, 2, 3, 4, 5, 6, 7}
+}
+
+// Valid reports whether t is a permutation.
+func (t Target) Valid() bool {
+	var seen [8]bool
+	for _, v := range t {
+		if v >= 8 || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// FromKind returns the target implemented by a 3-bit gate kind.
+func FromKind(k gate.Kind) Target {
+	if k.Arity() != 3 || !k.Reversible() {
+		panic(fmt.Sprintf("synth: %s is not a reversible 3-bit gate", k))
+	}
+	var t Target
+	for i := range t {
+		t[i] = uint8(k.Eval(uint64(i)))
+	}
+	return t
+}
+
+// FromCircuit returns the target computed by a 3-wire circuit.
+func FromCircuit(c *circuit.Circuit) Target {
+	if c.Width() != 3 {
+		panic("synth: FromCircuit requires width 3")
+	}
+	var t Target
+	for i := range t {
+		t[i] = uint8(c.Eval(uint64(i)))
+	}
+	return t
+}
+
+// Placement is one gate placed on specific wires of the 3-wire register.
+type Placement struct {
+	Kind    gate.Kind
+	Targets []int
+	perm    Target
+}
+
+// String renders the placement like an op.
+func (p Placement) String() string {
+	return circuit.Op{Kind: p.Kind, Targets: p.Targets}.String()
+}
+
+// Placements enumerates every distinct placement of the given gate kinds on
+// three wires. Symmetric placements that induce the same permutation (e.g.
+// the two control orders of a Toffoli) are deduplicated.
+func Placements(kinds ...gate.Kind) []Placement {
+	var out []Placement
+	seen := make(map[Target]bool)
+	wires := [3]int{0, 1, 2}
+	for _, k := range kinds {
+		if !k.Reversible() {
+			continue
+		}
+		forEachArrangement(wires, k.Arity(), func(ts []int) {
+			p := Placement{Kind: k, Targets: append([]int(nil), ts...)}
+			p.perm = placementPerm(k, ts)
+			if !seen[p.perm] {
+				seen[p.perm] = true
+				out = append(out, p)
+			}
+		})
+	}
+	return out
+}
+
+// forEachArrangement visits every ordered selection of n distinct wires.
+func forEachArrangement(wires [3]int, n int, fn func([]int)) {
+	var rec func(chosen []int, used [3]bool)
+	rec = func(chosen []int, used [3]bool) {
+		if len(chosen) == n {
+			fn(chosen)
+			return
+		}
+		for i, w := range wires {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			rec(append(chosen, w), used)
+			used[i] = false
+		}
+	}
+	rec(nil, [3]bool{})
+}
+
+// placementPerm computes the 8-state permutation induced by applying kind k
+// on the given wires.
+func placementPerm(k gate.Kind, targets []int) Target {
+	var t Target
+	for s := uint64(0); s < 8; s++ {
+		var local uint64
+		for i, w := range targets {
+			local |= s >> uint(w) & 1 << uint(i)
+		}
+		out := k.Eval(local)
+		res := s
+		for i, w := range targets {
+			bit := out >> uint(i) & 1
+			res = res&^(1<<uint(w)) | bit<<uint(w)
+		}
+		t[s] = uint8(res)
+	}
+	return t
+}
+
+// compose returns b∘a: apply a first, then b.
+func compose(a, b Target) Target {
+	var out Target
+	for i, v := range a {
+		out[i] = b[v]
+	}
+	return out
+}
+
+// Synthesize returns a shortest circuit over the gate set realizing the
+// target, by breadth-first search from the identity. It returns an error if
+// the target is invalid or unreachable.
+func Synthesize(target Target, gateSet []Placement) (*circuit.Circuit, error) {
+	if !target.Valid() {
+		return nil, fmt.Errorf("synth: target is not a permutation")
+	}
+	if len(gateSet) == 0 {
+		return nil, fmt.Errorf("synth: empty gate set")
+	}
+	type node struct {
+		perm Target
+		prev Target // predecessor permutation
+		via  int    // index of the placement applied last
+	}
+	start := Identity()
+	visited := map[Target]node{start: {perm: start, via: -1}}
+	frontier := []Target{start}
+	found := target == start
+	for len(frontier) > 0 && !found {
+		var next []Target
+		for _, cur := range frontier {
+			for gi, p := range gateSet {
+				np := compose(cur, p.perm)
+				if _, ok := visited[np]; ok {
+					continue
+				}
+				visited[np] = node{perm: np, prev: cur, via: gi}
+				if np == target {
+					found = true
+				}
+				next = append(next, np)
+			}
+		}
+		frontier = next
+	}
+	if !found {
+		return nil, fmt.Errorf("synth: target unreachable with the given gate set")
+	}
+	// Walk back from the target.
+	var rev []int
+	cur := target
+	for cur != start {
+		n := visited[cur]
+		rev = append(rev, n.via)
+		cur = n.prev
+	}
+	c := circuit.New(3)
+	for i := len(rev) - 1; i >= 0; i-- {
+		p := gateSet[rev[i]]
+		c.Append(p.Kind, p.Targets...)
+	}
+	return c, nil
+}
+
+// MinGateCount returns the length of a shortest realization, or -1 if
+// unreachable.
+func MinGateCount(target Target, gateSet []Placement) int {
+	c, err := Synthesize(target, gateSet)
+	if err != nil {
+		return -1
+	}
+	return c.Len()
+}

@@ -1,0 +1,161 @@
+package synth
+
+import (
+	"testing"
+
+	"revft/internal/circuit"
+	"revft/internal/gate"
+)
+
+func mustSynth(t *testing.T, target Target, set []Placement) *circuit.Circuit {
+	t.Helper()
+	c, err := Synthesize(target, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromCircuit(c); got != target {
+		t.Fatalf("synthesized circuit computes %v, want %v", got, target)
+	}
+	return c
+}
+
+func TestIdentitySynthesis(t *testing.T) {
+	c := mustSynth(t, Identity(), Placements(gate.CNOT))
+	if c.Len() != 0 {
+		t.Fatalf("identity took %d gates", c.Len())
+	}
+}
+
+// TestFigure1IsOptimal: the paper's MAJ construction uses two CNOTs and one
+// Toffoli; BFS proves three gates is the minimum over {CNOT, Toffoli}.
+func TestFigure1IsOptimal(t *testing.T) {
+	set := Placements(gate.CNOT, gate.Toffoli)
+	c := mustSynth(t, FromKind(gate.MAJ), set)
+	if c.Len() != 3 {
+		t.Fatalf("MAJ synthesized in %d gates, want 3 (Figure 1 optimal)", c.Len())
+	}
+}
+
+func TestSwapFromCNOTs(t *testing.T) {
+	// The classic result: SWAP = 3 CNOTs.
+	swapOnWires01 := FromCircuit(circuit.New(3).Swap(0, 1))
+	c := mustSynth(t, swapOnWires01, Placements(gate.CNOT))
+	if c.Len() != 3 {
+		t.Fatalf("SWAP synthesized in %d CNOTs, want 3", c.Len())
+	}
+}
+
+func TestFredkinFromToffolis(t *testing.T) {
+	// Fredkin = 3 Toffoli-family gates (CNOT-Toffoli-CNOT).
+	c := mustSynth(t, FromKind(gate.Fredkin), Placements(gate.CNOT, gate.Toffoli))
+	if c.Len() != 3 {
+		t.Fatalf("Fredkin synthesized in %d gates, want 3", c.Len())
+	}
+}
+
+func TestMAJInvSameCostAsMAJ(t *testing.T) {
+	set := Placements(gate.CNOT, gate.Toffoli)
+	if got := MinGateCount(FromKind(gate.MAJInv), set); got != 3 {
+		t.Fatalf("MAJ⁻¹ min count = %d, want 3", got)
+	}
+}
+
+func TestSWAP3FromSwaps(t *testing.T) {
+	c := mustSynth(t, FromKind(gate.SWAP3), Placements(gate.SWAP))
+	if c.Len() != 2 {
+		t.Fatalf("SWAP3 took %d SWAPs, want 2 (Figure 5)", c.Len())
+	}
+}
+
+func TestUnreachableTarget(t *testing.T) {
+	// CNOTs alone generate only linear (affine without NOT) permutations;
+	// Toffoli is not linear.
+	if _, err := Synthesize(FromKind(gate.Toffoli), Placements(gate.CNOT)); err == nil {
+		t.Fatal("Toffoli should be unreachable from CNOTs alone")
+	}
+}
+
+func TestInvalidTarget(t *testing.T) {
+	bad := Target{0, 0, 1, 2, 3, 4, 5, 6}
+	if _, err := Synthesize(bad, Placements(gate.CNOT)); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if bad.Valid() {
+		t.Fatal("Valid() accepted a non-permutation")
+	}
+}
+
+func TestEmptyGateSet(t *testing.T) {
+	if _, err := Synthesize(FromKind(gate.MAJ), nil); err == nil {
+		t.Fatal("empty gate set accepted")
+	}
+}
+
+func TestPlacementsDeduplicate(t *testing.T) {
+	// Toffoli's two control orders coincide: 3 distinct placements (by
+	// target wire), not 6.
+	ps := Placements(gate.Toffoli)
+	if len(ps) != 3 {
+		t.Fatalf("Toffoli placements = %d, want 3", len(ps))
+	}
+	// CNOT: 6 ordered pairs, all distinct.
+	if got := len(Placements(gate.CNOT)); got != 6 {
+		t.Fatalf("CNOT placements = %d, want 6", got)
+	}
+	// SWAP is symmetric: 3 distinct.
+	if got := len(Placements(gate.SWAP)); got != 3 {
+		t.Fatalf("SWAP placements = %d, want 3", got)
+	}
+}
+
+func TestFromKindRejectsLowArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromKind(CNOT) did not panic")
+		}
+	}()
+	FromKind(gate.CNOT)
+}
+
+// TestFullGroupReachable: NOT+CNOT+Toffoli generate the full symmetric
+// group on 8 states; every gate in our set must be synthesizable.
+func TestFullGroupReachable(t *testing.T) {
+	set := Placements(gate.NOT, gate.CNOT, gate.Toffoli)
+	for _, k := range []gate.Kind{gate.MAJ, gate.MAJInv, gate.Fredkin, gate.SWAP3, gate.SWAP3Inv} {
+		c := mustSynth(t, FromKind(k), set)
+		if c.Len() == 0 && k != gate.Kind(0) {
+			t.Fatalf("%s synthesized as empty circuit", k)
+		}
+	}
+}
+
+// TestSynthesisCostTable pins the minimal costs of the paper's gates over
+// the universal set — documentation-grade numbers.
+func TestSynthesisCostTable(t *testing.T) {
+	set := Placements(gate.NOT, gate.CNOT, gate.Toffoli)
+	costs := map[gate.Kind]int{
+		gate.MAJ:     3,
+		gate.MAJInv:  3,
+		gate.Fredkin: 3,
+		// A SWAP is 3 CNOTs; SWAP3 = two SWAPs = 6, and BFS proves no
+		// shorter realization exists over {NOT, CNOT, Toffoli}.
+		gate.SWAP3:    6,
+		gate.SWAP3Inv: 6,
+	}
+	for k, want := range costs {
+		if got := MinGateCount(FromKind(k), set); got != want {
+			t.Errorf("%s min cost = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func BenchmarkSynthesizeMAJ(b *testing.B) {
+	set := Placements(gate.CNOT, gate.Toffoli)
+	target := FromKind(gate.MAJ)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(target, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package threshold implements the paper's analytic fault-tolerance model
+// (§2.2, §2.3, §3): threshold values ρ = 1/(3·C(G,2)), the concatenation
+// error recursion (Equations 1–2), the required concatenation depth
+// (Equation 3), the gate and bit blowups, and the hybrid 2D/1D thresholds of
+// Table 2.
+package threshold
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gate-count constants G (operations acting on each encoded bit per logical
+// gate cycle) for each architecture, as published in the paper.
+const (
+	// GNonLocalInit is the non-local scheme counting initialization:
+	// 3 transversal gates + E = 8 recovery ops (§2.2). Threshold 1/165.
+	GNonLocalInit = 11
+	// GNonLocal assumes initialization far more accurate than gates:
+	// 3 + E = 6 (§2.2). Threshold 1/108.
+	GNonLocal = 9
+	// G2DInit and G2D are the paper's published 2D near-neighbor counts
+	// (§3.1): thresholds 1/360 and 1/273.
+	G2DInit = 16
+	G2D     = 14
+	// G1DInit and G1D are the 1D near-neighbor counts (§3.2): 27 gates for
+	// the interleaved logical operation plus 13 (or 11) for local
+	// recovery. Thresholds 1/2340 and 1/2109.
+	G1DInit = 40
+	G1D     = 38
+)
+
+// Choose returns the binomial coefficient C(n, k) as a float64.
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// Threshold returns ρ = 1/(3·C(G,2)), the gate error rate below which
+// concatenated recovery reduces the logical error rate (Equation 1).
+func Threshold(g int) float64 {
+	if g < 2 {
+		panic(fmt.Sprintf("threshold: G = %d too small", g))
+	}
+	return 1 / (3 * Choose(g, 2))
+}
+
+// PBitBound returns the paper's bound on the per-encoded-bit error
+// probability after one gate-plus-recovery cycle: C(G,2)·g².
+func PBitBound(gerr float64, g int) float64 {
+	return Choose(g, 2) * gerr * gerr
+}
+
+// PBitExact returns the exact binomial tail the bound relaxes:
+// Σ_{k=2}^{G} C(G,k)·g^k·(1−g)^{G−k}, the probability of two or more faults
+// among G operations.
+func PBitExact(gerr float64, g int) float64 {
+	if gerr <= 0 {
+		return 0
+	}
+	if gerr >= 1 {
+		return 1
+	}
+	// 1 - P(0 faults) - P(1 fault), computed directly for accuracy.
+	p0 := math.Pow(1-gerr, float64(g))
+	p1 := float64(g) * gerr * math.Pow(1-gerr, float64(g-1))
+	t := 1 - p0 - p1
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// LogicalBound returns Equation 1's bound on the logical gate error rate
+// after one level of encoding: g_logical ≤ 3·C(G,2)·g².
+func LogicalBound(gerr float64, g int) float64 {
+	return 3 * PBitBound(gerr, g)
+}
+
+// LevelRate returns Equation 2's bound on the error rate after L levels of
+// concatenation: g_L ≤ ρ·(g/ρ)^(2^L).
+func LevelRate(gerr float64, g, level int) float64 {
+	rho := Threshold(g)
+	return rho * math.Pow(gerr/rho, math.Pow(2, float64(level)))
+}
+
+// RequiredLevels returns the smallest concatenation depth L satisfying
+// Equation 3, L ≥ log₂(log(Tρ)/log(ρ/g)), so that a module of T logical
+// gates has at most one expected error (g_L ≤ 1/T). It returns an error if
+// g is not below threshold or if T·ρ ≤ 1 (no depth suffices / none needed
+// is ill-posed).
+func RequiredLevels(t float64, gerr float64, g int) (int, error) {
+	rho := Threshold(g)
+	if gerr >= rho {
+		return 0, fmt.Errorf("threshold: g = %v is not below threshold ρ = %v", gerr, rho)
+	}
+	if gerr <= 0 {
+		return 0, nil // perfect gates need no concatenation
+	}
+	if t*rho <= 1 {
+		// Even level 0 satisfies g ≤ ρ < 1/T.
+		return 0, nil
+	}
+	l := math.Log2(math.Log(t*rho) / math.Log(rho/gerr))
+	if l <= 0 {
+		return 0, nil
+	}
+	return int(math.Ceil(l)), nil
+}
+
+// ExactLogicalRate returns the tighter version of Equation 1 the paper
+// mentions but does not use: g_logical ≤ 1 − (1 − P_bit)³ with the exact
+// binomial P_bit, instead of the double relaxation 3·C(G,2)·g².
+func ExactLogicalRate(gerr float64, g int) float64 {
+	p := PBitExact(gerr, g)
+	q := 1 - p
+	return 1 - q*q*q
+}
+
+// ExactThreshold returns the largest g for which the exact one-level map
+// still contracts (ExactLogicalRate(g) < g), found by bisection. The paper
+// notes that "a tighter bound will result in an improved error threshold";
+// this quantifies the improvement over ρ = 1/(3·C(G,2)).
+func ExactThreshold(g int) float64 {
+	lo, hi := 0.0, 0.5
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if ExactLogicalRate(mid, g) < mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// GateBlowup returns Γ_L = (3(G−2))^L, the gate-count blowup factor at
+// concatenation depth L (§2.3).
+func GateBlowup(g, level int) float64 {
+	return math.Pow(3*float64(g-2), float64(level))
+}
+
+// SizeBlowup returns S_L = 9^L, the bit-count blowup factor.
+func SizeBlowup(level int) float64 {
+	return math.Pow(9, float64(level))
+}
+
+// GateExponent returns log₂(3(G−2)): the gate blowup is
+// O((log T)^GateExponent). For G = 11 this is ≈ 4.75 (the paper's title
+// figure for overhead).
+func GateExponent(g int) float64 {
+	return math.Log2(3 * float64(g-2))
+}
+
+// SizeExponent is log₂9 ≈ 3.17: the bit blowup is O((log T)^3.17).
+var SizeExponent = math.Log2(9)
+
+// Hybrid returns ρ(k) = ρ₂·(ρ₁/ρ₂)^(1/2^k): the effective threshold when k
+// levels of a scheme with threshold ρ₂ are concatenated under arbitrarily
+// many levels of a scheme with threshold ρ₁ (§3.3).
+func Hybrid(k int, rho1, rho2 float64) float64 {
+	return rho2 * math.Pow(rho1/rho2, 1/math.Pow(2, float64(k)))
+}
+
+// Table2Row is one row of the paper's Table 2.
+type Table2Row struct {
+	K     int     // levels of 2D concatenation at the bottom
+	Width int     // lattice width in bits, 3^k
+	Ratio float64 // ρ(k)/ρ₂
+}
+
+// Table2 regenerates the paper's Table 2: hybrid thresholds for k levels of
+// the 2D scheme (ρ₂ = 1/273) under the 1D scheme (ρ₁ = 1/2109), both with
+// accurate initialization, normalized by ρ₂.
+func Table2() []Table2Row {
+	rho1 := Threshold(G1D)
+	rho2 := Threshold(G2D)
+	rows := make([]Table2Row, 6)
+	width := 1
+	for k := range rows {
+		rows[k] = Table2Row{
+			K:     k,
+			Width: width,
+			Ratio: Hybrid(k, rho1, rho2) / rho2,
+		}
+		width *= 3
+	}
+	return rows
+}
+
+// UnprotectedModuleError returns 1−(1−g)^T: the probability that a module
+// of T gates with no fault tolerance contains at least one error.
+func UnprotectedModuleError(gerr float64, t float64) float64 {
+	if gerr <= 0 {
+		return 0
+	}
+	if gerr >= 1 {
+		return 1
+	}
+	return -math.Expm1(t * math.Log1p(-gerr))
+}

@@ -1,0 +1,309 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestChoose(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{9, 2, 36}, {11, 2, 55}, {14, 2, 91}, {16, 2, 120},
+		{38, 2, 703}, {40, 2, 780},
+		{5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+		{10, 3, 120},
+	}
+	for _, tt := range tests {
+		if got := Choose(tt.n, tt.k); !approx(got, tt.want, 1e-9) {
+			t.Errorf("Choose(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+// TestPaperThresholds verifies every threshold value published in the paper:
+// 1/165 and 1/108 (§2.2), 1/273 and 1/360 (§3.1), 1/2340 and 1/2109 (§3.2).
+func TestPaperThresholds(t *testing.T) {
+	tests := []struct {
+		name string
+		g    int
+		want float64
+	}{
+		{"non-local with init", GNonLocalInit, 1.0 / 165},
+		{"non-local", GNonLocal, 1.0 / 108},
+		{"2D with init", G2DInit, 1.0 / 360},
+		{"2D", G2D, 1.0 / 273},
+		{"1D with init", G1DInit, 1.0 / 2340},
+		{"1D", G1D, 1.0 / 2109},
+	}
+	for _, tt := range tests {
+		if got := Threshold(tt.g); !approx(got, tt.want, 1e-12) {
+			t.Errorf("%s: Threshold(%d) = %v, want %v", tt.name, tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Threshold(1) did not panic")
+		}
+	}()
+	Threshold(1)
+}
+
+func TestApprox2DThresholdIsAboutPoint4Percent(t *testing.T) {
+	// The paper: "the gate error rate only needs to reach the larger
+	// threshold, which is approximately 0.4%."
+	if got := Threshold(G2D); !approx(got, 0.004, 0.0005) {
+		t.Fatalf("2D threshold %v not ≈ 0.4%%", got)
+	}
+}
+
+func TestLogicalBoundFixedPoint(t *testing.T) {
+	// At g = ρ the bound gives exactly g back; below, smaller; above,
+	// larger.
+	for _, g := range []int{GNonLocal, GNonLocalInit, G1DInit} {
+		rho := Threshold(g)
+		if got := LogicalBound(rho, g); !approx(got, rho, 1e-15) {
+			t.Errorf("G=%d: LogicalBound(ρ) = %v, want ρ = %v", g, got, rho)
+		}
+		if LogicalBound(rho/2, g) >= rho/2 {
+			t.Errorf("G=%d: bound does not contract below threshold", g)
+		}
+		if LogicalBound(rho*2, g) <= rho*2 {
+			t.Errorf("G=%d: bound does not expand above threshold", g)
+		}
+	}
+}
+
+func TestPBitExactVsBound(t *testing.T) {
+	// The quadratic bound must dominate the exact binomial tail for small g
+	// and be tight to second order.
+	for _, gerr := range []float64{1e-5, 1e-4, 1e-3} {
+		exact := PBitExact(gerr, GNonLocal)
+		bound := PBitBound(gerr, GNonLocal)
+		if exact > bound {
+			t.Errorf("g=%v: exact %v exceeds bound %v", gerr, exact, bound)
+		}
+		if exact < 0.9*bound {
+			t.Errorf("g=%v: bound %v not tight against exact %v", gerr, bound, exact)
+		}
+	}
+	if PBitExact(0, 9) != 0 || PBitExact(1, 9) != 1 {
+		t.Fatal("PBitExact edge cases wrong")
+	}
+}
+
+func TestLevelRateRecursion(t *testing.T) {
+	// Equation 2 at L=0 gives g back; the recursion g_{k+1} = 3C(G,2)g_k²
+	// must match LevelRate step by step.
+	const g0 = 1e-3
+	if got := LevelRate(g0, GNonLocal, 0); !approx(got, g0, 1e-18) {
+		t.Fatalf("LevelRate(L=0) = %v, want %v", got, g0)
+	}
+	gk := g0
+	for l := 1; l <= 4; l++ {
+		gk = 3 * Choose(GNonLocal, 2) * gk * gk
+		if got := LevelRate(g0, GNonLocal, l); !approx(got, gk, gk*1e-9) {
+			t.Fatalf("LevelRate(L=%d) = %v, want recursion %v", l, got, gk)
+		}
+	}
+}
+
+// TestWorkedExample reproduces §2.3's worked example: g = ρ/10 with G = 9
+// (ρ ≈ 10⁻²), T = 10⁶ requires L = 2, a gate blowup of 441 and a bit
+// blowup of 81.
+func TestWorkedExample(t *testing.T) {
+	rho := Threshold(GNonLocal)
+	l, err := RequiredLevels(1e6, rho/10, GNonLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 2 {
+		t.Fatalf("RequiredLevels = %d, want 2", l)
+	}
+	if got := GateBlowup(GNonLocal, 2); !approx(got, 441, 1e-9) {
+		t.Fatalf("GateBlowup = %v, want 441 = 21²", got)
+	}
+	if got := SizeBlowup(2); !approx(got, 81, 1e-9) {
+		t.Fatalf("SizeBlowup = %v, want 81", got)
+	}
+	// Level 2 must actually achieve g_2 ≤ 1/T.
+	if g2 := LevelRate(rho/10, GNonLocal, 2); g2 > 1e-6 {
+		t.Fatalf("g_2 = %v > 10⁻⁶: the example's depth is insufficient", g2)
+	}
+	// And level 1 must not be enough (otherwise L=2 would not be minimal).
+	if g1 := LevelRate(rho/10, GNonLocal, 1); g1 <= 1e-6 {
+		t.Fatalf("g_1 = %v already suffices; L=2 not minimal", g1)
+	}
+}
+
+func TestUnprotectedThousandGates(t *testing.T) {
+	// §2.3: "Without any error correction, modules larger than 1,000 gates
+	// will almost certainly be faulty" at g = ρ/10 ≈ 10⁻³.
+	p := UnprotectedModuleError(1e-3, 1000)
+	if p < 0.6 {
+		t.Fatalf("1000-gate module error = %v, expected >0.6", p)
+	}
+	if got := UnprotectedModuleError(0, 100); got != 0 {
+		t.Fatalf("zero error rate gave %v", got)
+	}
+	if got := UnprotectedModuleError(1, 5); got != 1 {
+		t.Fatalf("unit error rate gave %v", got)
+	}
+}
+
+func TestRequiredLevelsEdges(t *testing.T) {
+	if _, err := RequiredLevels(1e6, 1.0/50, GNonLocal); err == nil {
+		t.Fatal("above-threshold g did not error")
+	}
+	if l, err := RequiredLevels(1e6, 0, GNonLocal); err != nil || l != 0 {
+		t.Fatalf("perfect gates: %d, %v", l, err)
+	}
+	// Tiny module: threshold-level error already suffices.
+	if l, err := RequiredLevels(10, 1e-3, GNonLocal); err != nil || l != 0 {
+		t.Fatalf("tiny module: %d, %v", l, err)
+	}
+}
+
+func TestExactLogicalRateTighterThanBound(t *testing.T) {
+	for _, g := range []float64{1e-4, 1e-3, 5e-3} {
+		exact := ExactLogicalRate(g, GNonLocal)
+		bound := LogicalBound(g, GNonLocal)
+		if exact > bound {
+			t.Fatalf("g=%v: exact rate %v exceeds the relaxed bound %v", g, exact, bound)
+		}
+		if exact <= 0 {
+			t.Fatalf("g=%v: exact rate %v not positive", g, exact)
+		}
+	}
+}
+
+func TestExactThresholdImprovesOnRho(t *testing.T) {
+	for _, g := range []int{GNonLocal, GNonLocalInit, G2D, G1DInit} {
+		rho := Threshold(g)
+		exact := ExactThreshold(g)
+		if exact <= rho {
+			t.Fatalf("G=%d: exact threshold %v not above ρ = %v", g, exact, rho)
+		}
+		if exact > 0.5 {
+			t.Fatalf("G=%d: exact threshold %v implausibly large", g, exact)
+		}
+		// Contract below, expand above.
+		if ExactLogicalRate(exact*0.9, g) >= exact*0.9 {
+			t.Fatalf("G=%d: map does not contract just below exact threshold", g)
+		}
+		if ExactLogicalRate(exact*1.2, g) <= exact*1.2 {
+			t.Fatalf("G=%d: map does not expand just above exact threshold", g)
+		}
+	}
+}
+
+func TestGateExponents(t *testing.T) {
+	// §2.3: G = 11 gives (3(G−2))^L = O((log T)^4.75) and 9^L =
+	// O((log T)^3.17).
+	if got := GateExponent(GNonLocalInit); !approx(got, 4.75, 0.01) {
+		t.Fatalf("GateExponent(11) = %v, want ≈4.75", got)
+	}
+	if !approx(SizeExponent, 3.17, 0.01) {
+		t.Fatalf("SizeExponent = %v, want ≈3.17", SizeExponent)
+	}
+}
+
+// TestTable2 regenerates the paper's Table 2 exactly (two decimal places).
+func TestTable2(t *testing.T) {
+	want := []struct {
+		k, width int
+		ratio    float64
+	}{
+		{0, 1, 0.13},
+		{1, 3, 0.36},
+		{2, 9, 0.60},
+		{3, 27, 0.77},
+		{4, 81, 0.88},
+		{5, 243, 0.94},
+	}
+	rows := Table2()
+	if len(rows) != len(want) {
+		t.Fatalf("Table2 has %d rows", len(rows))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.K != w.k || r.Width != w.width {
+			t.Errorf("row %d: k=%d width=%d, want k=%d width=%d", i, r.K, r.Width, w.k, w.width)
+		}
+		if math.Abs(r.Ratio-w.ratio) > 0.005 {
+			t.Errorf("row %d: ratio %v, want %v ± 0.005", i, r.Ratio, w.ratio)
+		}
+	}
+}
+
+// Test the two headline sentences of the abstract: 27-bit-wide 1D lattice is
+// within 23% of full 2D.
+func TestAbstractClaim27BitWidth(t *testing.T) {
+	rows := Table2()
+	r := rows[3] // k = 3, width 27
+	if math.Abs((1-r.Ratio)-0.23) > 0.005 {
+		t.Fatalf("width-27 threshold deficit = %v, paper claims 23%%", 1-r.Ratio)
+	}
+}
+
+func TestHybridLimits(t *testing.T) {
+	rho1, rho2 := Threshold(G1D), Threshold(G2D)
+	// k = 0 is pure 1D; k → ∞ approaches 2D.
+	if got := Hybrid(0, rho1, rho2); !approx(got, rho1, 1e-15) {
+		t.Fatalf("Hybrid(0) = %v, want ρ1 = %v", got, rho1)
+	}
+	if got := Hybrid(40, rho1, rho2); math.Abs(got-rho2)/rho2 > 1e-9 {
+		t.Fatalf("Hybrid(40) = %v, want ≈ ρ2 = %v", got, rho2)
+	}
+	// Monotone increasing in k.
+	prev := 0.0
+	for k := 0; k <= 10; k++ {
+		h := Hybrid(k, rho1, rho2)
+		if h <= prev {
+			t.Fatalf("Hybrid not increasing at k=%d", k)
+		}
+		prev = h
+	}
+}
+
+// Property: LevelRate is monotone decreasing in level below threshold and
+// increasing above.
+func TestPropLevelRateMonotone(t *testing.T) {
+	f := func(frac uint8, above bool) bool {
+		rho := Threshold(GNonLocal)
+		g := rho * (0.05 + 0.9*float64(frac)/255)
+		if above {
+			g = rho * (1.1 + 5*float64(frac)/255)
+		}
+		prev := LevelRate(g, GNonLocal, 0)
+		for l := 1; l <= 3; l++ {
+			cur := LevelRate(g, GNonLocal, l)
+			if !above && cur >= prev {
+				return false
+			}
+			if above && cur <= prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Table2()
+	}
+}

@@ -1,0 +1,192 @@
+// Package vonneumann implements the irreversible baseline the paper
+// compares against: von Neumann's NAND multiplexing (reference [18],
+// "Probabilistic logics and the synthesis of reliable organisms from
+// unreliable components", 1956).
+//
+// A logical signal is carried by a bundle of N wires. A multiplexed NAND
+// unit has an executive organ — pair the two input bundles through a random
+// permutation and NAND each pair, every gate failing (flipping its output)
+// independently with probability eps — followed by a restorative organ: two
+// further NAND stages fed with independently permuted copies of the same
+// bundle, which pushes the stimulated fraction back toward 0 or 1.
+//
+// The package provides both the stochastic bundle simulation and the
+// deterministic large-N fraction map, including the bistability threshold of
+// the restoration map — the baseline's analogue of the paper's ρ. The paper
+// quotes "about 11%" for such schemes; the measured saddle-node point of
+// this construction is ≈ 8.9% (the Evans–Pippenger NAND bound (3−√7)/4),
+// recorded in EXPERIMENTS.md.
+package vonneumann
+
+import (
+	"math"
+
+	"revft/internal/rng"
+)
+
+// Bundle is a redundant carrier of one logical bit: N wires, each 0 or 1.
+type Bundle struct {
+	bits []bool
+}
+
+// NewBundle returns a bundle of n wires all carrying v.
+func NewBundle(n int, v bool) *Bundle {
+	b := &Bundle{bits: make([]bool, n)}
+	if v {
+		for i := range b.bits {
+			b.bits[i] = true
+		}
+	}
+	return b
+}
+
+// NewBundleFraction returns a bundle of n wires with each wire stimulated
+// independently with probability frac.
+func NewBundleFraction(n int, frac float64, r *rng.RNG) *Bundle {
+	b := &Bundle{bits: make([]bool, n)}
+	for i := range b.bits {
+		b.bits[i] = r.Bool(frac)
+	}
+	return b
+}
+
+// Len returns the bundle width.
+func (b *Bundle) Len() int { return len(b.bits) }
+
+// Fraction returns the stimulated fraction: the share of wires carrying 1.
+func (b *Bundle) Fraction() float64 {
+	if len(b.bits) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range b.bits {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b.bits))
+}
+
+// Decode returns the majority reading of the bundle.
+func (b *Bundle) Decode() bool { return b.Fraction() >= 0.5 }
+
+// Unit is a multiplexed NAND unit: bundle width N and per-gate error eps.
+type Unit struct {
+	N   int
+	Eps float64
+}
+
+// Executive runs the executive organ: wire i of the output is the noisy
+// NAND of x's wire i and y's wire σ(i) for a fresh random permutation σ.
+func (u Unit) Executive(x, y *Bundle, r *rng.RNG) *Bundle {
+	perm := r.Perm(u.N)
+	out := &Bundle{bits: make([]bool, u.N)}
+	for i := range out.bits {
+		v := !(x.bits[i] && y.bits[perm[i]])
+		if r.Bool(u.Eps) {
+			v = !v
+		}
+		out.bits[i] = v
+	}
+	return out
+}
+
+// Restore runs the restorative organ: two executive stages each fed two
+// independently permuted copies of its input bundle. NAND(z, z') ≈ ¬z, so
+// two stages restore the original sense while sharpening the fraction.
+func (u Unit) Restore(z *Bundle, r *rng.RNG) *Bundle {
+	w := u.Executive(u.permuted(z, r), z, r)
+	return u.Executive(u.permuted(w, r), w, r)
+}
+
+// NAND runs a full multiplexed NAND: executive organ then restorative organ.
+func (u Unit) NAND(x, y *Bundle, r *rng.RNG) *Bundle {
+	return u.Restore(u.Executive(x, y, r), r)
+}
+
+func (u Unit) permuted(b *Bundle, r *rng.RNG) *Bundle {
+	perm := r.Perm(u.N)
+	out := &Bundle{bits: make([]bool, u.N)}
+	for i, p := range perm {
+		out.bits[i] = b.bits[p]
+	}
+	return out
+}
+
+// NANDMap is the large-N deterministic map: the expected stimulated fraction
+// out of a noisy NAND stage whose input bundles have fractions x and y:
+// (1−eps)(1−xy) + eps·xy.
+func NANDMap(x, y, eps float64) float64 {
+	p := x * y
+	return (1-eps)*(1-p) + eps*p
+}
+
+// RestoreMap applies the two-stage restorative organ map.
+func RestoreMap(z, eps float64) float64 {
+	w := NANDMap(z, z, eps)
+	return NANDMap(w, w, eps)
+}
+
+// UnitMap is the full multiplexed-NAND fraction map for inputs x and y.
+func UnitMap(x, y, eps float64) float64 {
+	return RestoreMap(NANDMap(x, y, eps), eps)
+}
+
+// Bistable reports whether the restoration map at error rate eps has two
+// distinct attracting fixed points (a "0" level and a "1" level) — the
+// condition for the bundle to carry information at all. It is decided by
+// iterating from well-separated starting fractions.
+func Bistable(eps float64) bool {
+	lo, hi := fixedPointFrom(0.0, eps), fixedPointFrom(1.0, eps)
+	return math.Abs(hi-lo) > 1e-3
+}
+
+func fixedPointFrom(z, eps float64) float64 {
+	for i := 0; i < 10000; i++ {
+		next := RestoreMap(z, eps)
+		if math.Abs(next-z) < 1e-12 {
+			return next
+		}
+		z = next
+	}
+	return z
+}
+
+// Threshold returns the largest gate error rate at which the restoration
+// map remains bistable, located by bisection. This is the multiplexing
+// baseline's analogue of the paper's threshold ρ.
+func Threshold() float64 {
+	lo, hi := 0.0, 0.5
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if Bistable(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ChainErrorRate estimates, by simulation, the probability that a chain of
+// depth multiplexed NAND units ends with a wrongly decoded bundle. Each
+// stage is a self-NAND: the running (degraded) bundle feeds both inputs
+// through independent permutations, so the ideal logical value alternates
+// down the chain and errors accumulate without any fresh clean inputs —
+// the faithful probe of the restoration threshold.
+func ChainErrorRate(u Unit, depth, trials int, seed uint64) float64 {
+	r := rng.New(seed)
+	errors := 0
+	for t := 0; t < trials; t++ {
+		cur := NewBundle(u.N, true)
+		ideal := true
+		for d := 0; d < depth; d++ {
+			cur = u.NAND(u.permuted(cur, r), cur, r)
+			ideal = !ideal // NAND(v, v) = ¬v
+		}
+		if cur.Decode() != ideal {
+			errors++
+		}
+	}
+	return float64(errors) / float64(trials)
+}

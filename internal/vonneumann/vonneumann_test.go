@@ -1,0 +1,158 @@
+package vonneumann
+
+import (
+	"math"
+	"testing"
+
+	"revft/internal/rng"
+)
+
+func TestBundleBasics(t *testing.T) {
+	b := NewBundle(100, true)
+	if b.Len() != 100 || b.Fraction() != 1 || !b.Decode() {
+		t.Fatalf("stimulated bundle wrong: frac=%v", b.Fraction())
+	}
+	b = NewBundle(100, false)
+	if b.Fraction() != 0 || b.Decode() {
+		t.Fatalf("quiet bundle wrong: frac=%v", b.Fraction())
+	}
+	if (&Bundle{}).Fraction() != 0 {
+		t.Fatal("empty bundle fraction != 0")
+	}
+}
+
+func TestNewBundleFraction(t *testing.T) {
+	r := rng.New(1)
+	b := NewBundleFraction(100000, 0.3, r)
+	if math.Abs(b.Fraction()-0.3) > 0.01 {
+		t.Fatalf("fraction = %v, want ~0.3", b.Fraction())
+	}
+}
+
+func TestExecutiveNoiseless(t *testing.T) {
+	u := Unit{N: 50, Eps: 0}
+	r := rng.New(2)
+	tests := []struct {
+		x, y, want bool
+	}{
+		{false, false, true},
+		{false, true, true},
+		{true, false, true},
+		{true, true, false},
+	}
+	for _, tt := range tests {
+		out := u.Executive(NewBundle(50, tt.x), NewBundle(50, tt.y), r)
+		wantFrac := 0.0
+		if tt.want {
+			wantFrac = 1
+		}
+		if out.Fraction() != wantFrac {
+			t.Fatalf("NAND(%v,%v) bundle fraction = %v", tt.x, tt.y, out.Fraction())
+		}
+	}
+}
+
+func TestExecutiveErrorRate(t *testing.T) {
+	u := Unit{N: 100000, Eps: 0.1}
+	r := rng.New(3)
+	out := u.Executive(NewBundle(u.N, true), NewBundle(u.N, true), r)
+	// Ideal output 0; eps fraction flipped to 1.
+	if math.Abs(out.Fraction()-0.1) > 0.01 {
+		t.Fatalf("faulty fraction = %v, want ~0.1", out.Fraction())
+	}
+}
+
+func TestRestoreSharpens(t *testing.T) {
+	// A degraded bundle (15% wrong) must come out of restoration cleaner.
+	u := Unit{N: 20000, Eps: 0.005}
+	r := rng.New(4)
+	in := NewBundleFraction(u.N, 0.85, r)
+	out := u.Restore(in, r)
+	if out.Fraction() <= 0.9 {
+		t.Fatalf("restoration did not sharpen: %v -> %v", in.Fraction(), out.Fraction())
+	}
+}
+
+func TestNANDMapValues(t *testing.T) {
+	if got := NANDMap(1, 1, 0); got != 0 {
+		t.Fatalf("NANDMap(1,1,0) = %v", got)
+	}
+	if got := NANDMap(0, 1, 0); got != 1 {
+		t.Fatalf("NANDMap(0,1,0) = %v", got)
+	}
+	// With error: NAND(1,1) flips to 1 with prob eps.
+	if got := NANDMap(1, 1, 0.1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("NANDMap(1,1,0.1) = %v", got)
+	}
+	if got := NANDMap(0, 0, 0.1); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("NANDMap(0,0,0.1) = %v", got)
+	}
+}
+
+func TestRestoreMapFixedLevels(t *testing.T) {
+	// Below threshold the map is bistable with levels near 0 and 1.
+	lo := fixedPointFrom(0, 0.01)
+	hi := fixedPointFrom(1, 0.01)
+	if lo > 0.05 {
+		t.Fatalf("low level %v too high", lo)
+	}
+	if hi < 0.9 {
+		t.Fatalf("high level %v too low", hi)
+	}
+}
+
+// TestThresholdMatchesNANDBound: the saddle-node point of the two-stage NAND
+// restoration map is the classic (3−√7)/4 ≈ 0.0886 NAND bound — compare the
+// paper's quoted "about 11%" for multiplexing schemes.
+func TestThresholdMatchesNANDBound(t *testing.T) {
+	got := Threshold()
+	want := (3 - math.Sqrt(7)) / 4
+	if math.Abs(got-want) > 0.002 {
+		t.Fatalf("Threshold = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestBistableTransition(t *testing.T) {
+	if !Bistable(0.05) {
+		t.Fatal("eps=0.05 should be bistable")
+	}
+	if Bistable(0.12) {
+		t.Fatal("eps=0.12 should not be bistable")
+	}
+}
+
+func TestUnitMapComposition(t *testing.T) {
+	want := RestoreMap(NANDMap(0.9, 0.8, 0.01), 0.01)
+	if got := UnitMap(0.9, 0.8, 0.01); got != want {
+		t.Fatalf("UnitMap = %v, want %v", got, want)
+	}
+}
+
+func TestChainErrorRateBelowThreshold(t *testing.T) {
+	u := Unit{N: 100, Eps: 0.02}
+	for _, depth := range []int{15, 16} { // both logical parities
+		if got := ChainErrorRate(u, depth, 300, 5); got > 0.02 {
+			t.Fatalf("depth %d: chain error %v too high below threshold", depth, got)
+		}
+	}
+}
+
+func TestChainErrorRateAboveThreshold(t *testing.T) {
+	// Above the bistability threshold the bundle drifts to the map's
+	// single interior fixed level and odd-depth chains decode wrongly most
+	// of the time.
+	u := Unit{N: 100, Eps: 0.12}
+	if got := ChainErrorRate(u, 15, 400, 6); got < 0.3 {
+		t.Fatalf("chain error %v above threshold, expected large", got)
+	}
+}
+
+func BenchmarkMultiplexedNAND(b *testing.B) {
+	u := Unit{N: 100, Eps: 0.01}
+	r := rng.New(1)
+	x, y := NewBundle(u.N, true), NewBundle(u.N, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.NAND(x, y, r)
+	}
+}
