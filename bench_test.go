@@ -53,6 +53,25 @@ func BenchmarkFigure2Recovery(b *testing.B) {
 	}
 }
 
+// BenchmarkScalarRecovery and BenchmarkLanesRecovery measure trial
+// throughput of the two Monte Carlo engines on the Figure 2 recovery
+// gadget (level-1 MAJ plus recovery) at g = 10⁻³, single worker, through
+// the same harness. Per-op time is per trial, so ns/op here divided by
+// ns/op there is the engines' throughput ratio.
+func BenchmarkScalarRecovery(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	b.ResetTimer()
+	g.LogicalErrorRate(m, b.N, 1, 1)
+}
+
+func BenchmarkLanesRecovery(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	b.ResetTimer()
+	g.LogicalErrorRateLanes(m, b.N, 1, 1)
+}
+
 // BenchmarkFigure3ConcatenatedGate runs one noisy trial of the level-L
 // fault-tolerant MAJ gate (paper Figure 3).
 func BenchmarkFigure3ConcatenatedGate(b *testing.B) {

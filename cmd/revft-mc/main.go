@@ -13,7 +13,13 @@
 //	revft-mc -exp adder      [-bits 4]
 //	revft-mc -exp initablation|correlated|interleave|memory
 //
-// Common flags: -trials, -workers, -seed, -csv.
+// Common flags: -trials, -workers, -seed, -csv, -engine.
+//
+// -engine selects the Monte Carlo execution engine for the hot sweeps
+// (recovery, levels, local, adder): "scalar" runs one trial at a time,
+// "lanes" packs 64 bit-sliced trials per batch for roughly hardware-word
+// speedup at identical statistics. Experiments without a lane path ignore
+// the flag.
 package main
 
 import (
@@ -39,6 +45,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 200000, "Monte Carlo trials per data point")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = fs.Uint64("seed", 1, "random seed")
+		engine   = fs.String("engine", exp.EngineScalar, "execution engine: scalar|lanes")
 		gmin     = fs.Float64("gmin", 1e-4, "smallest gate error rate in the sweep")
 		gmax     = fs.Float64("gmax", 3e-2, "largest gate error rate in the sweep")
 		points   = fs.Int("points", 7, "number of sweep points")
@@ -50,7 +57,12 @@ func run(args []string) error {
 		return err
 	}
 
-	p := exp.MCParams{Trials: *trials, Workers: *workers, Seed: *seed}
+	switch *engine {
+	case exp.EngineScalar, exp.EngineLanes:
+	default:
+		return fmt.Errorf("unknown engine %q (want scalar or lanes)", *engine)
+	}
+	p := exp.MCParams{Trials: *trials, Workers: *workers, Seed: *seed, Engine: *engine}
 	gs := stats.LogSpace(*gmin, *gmax, *points)
 
 	var t *exp.Table

@@ -1,0 +1,85 @@
+package core
+
+// Lane-engine estimators: the bit-sliced counterparts of the scalar
+// Monte Carlo methods, advancing 64 trials per batch through a compiled
+// word-kernel program. Estimates are statistically equivalent to the
+// scalar path (same noise channel, same jumped RNG streams) but not
+// bit-identical to it, since lane batches consume randomness in a
+// different order.
+
+import (
+	"revft/internal/circuit"
+	"revft/internal/lanes"
+	"revft/internal/noise"
+	"revft/internal/rng"
+	"revft/internal/sim"
+	"revft/internal/stats"
+)
+
+// LogicalErrorRateLanes estimates g_logical like LogicalErrorRate, but on
+// the 64-lane bit-sliced engine: each batch encodes 64 uniformly random
+// logical inputs lane-wise, runs the compiled noisy program once, and
+// decodes all 64 outputs with word-parallel recursive majority.
+func (g *Gadget) LogicalErrorRateLanes(m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	prog := lanes.Compile(g.Circuit, m)
+	nin := len(g.In)
+	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+		st := lanes.NewState(g.Circuit.Width())
+		ins := make([]uint64, nin)
+		for i := range ins {
+			ins[i] = r.Uint64()
+		}
+		for i, wires := range g.In {
+			lanes.Encode(st, wires, ins[i])
+		}
+		prog.Run(st, r)
+		want := make([]uint64, nin)
+		copy(want, ins)
+		lanes.Eval(g.Kind, want)
+		var fail uint64
+		for i, wires := range g.Out {
+			fail |= lanes.Decode(st, wires) ^ want[i]
+		}
+		return fail
+	})
+}
+
+// ErrorRateLanes estimates the module's logical failure probability on the
+// given input like ErrorRate, but on the 64-lane engine. All lanes carry
+// the same fixed logical input; the noise differs per lane.
+func (m *Module) ErrorRateLanes(in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	prog := lanes.Compile(m.Physical, nm)
+	want := m.Logical.Eval(in)
+	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+		st := lanes.NewState(m.Physical.Width())
+		for i, wires := range m.In {
+			lanes.Encode(st, wires, lanes.Broadcast(in>>uint(i)&1 == 1))
+		}
+		prog.Run(st, r)
+		var fail uint64
+		for i, wires := range m.Out {
+			fail |= lanes.Decode(st, wires) ^ lanes.Broadcast(want>>uint(i)&1 == 1)
+		}
+		return fail
+	})
+}
+
+// UnprotectedErrorRateLanes is UnprotectedErrorRate on the 64-lane engine:
+// the bare logical circuit under noise, no encoding, no recovery.
+func UnprotectedErrorRateLanes(logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	prog := lanes.Compile(logical, nm)
+	want := logical.Eval(in)
+	width := logical.Width()
+	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+		st := lanes.NewState(width)
+		for w := 0; w < width; w++ {
+			st[w] = lanes.Broadcast(in>>uint(w)&1 == 1)
+		}
+		prog.Run(st, r)
+		var fail uint64
+		for w := 0; w < width; w++ {
+			fail |= st[w] ^ lanes.Broadcast(want>>uint(w)&1 == 1)
+		}
+		return fail
+	})
+}

@@ -15,7 +15,7 @@ func TestTableFormat(t *testing.T) {
 	tb.AddRow("xx", 1e-7)
 	tb.AddNote("note %d", 7)
 	s := tb.Format()
-	for _, want := range []string{"== X: demo ==", "a", "longer", "xx", "note: note 7", "1e-07"} {
+	for _, want := range []string{"== X: demo ==", "a", "longer", "xx", "note: note 7", "1.0000e-07"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("formatted table missing %q:\n%s", want, s)
 		}

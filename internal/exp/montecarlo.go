@@ -9,6 +9,7 @@ import (
 	"revft/internal/core"
 	"revft/internal/entropy"
 	"revft/internal/gate"
+	"revft/internal/lanes"
 	"revft/internal/lattice"
 	"revft/internal/noise"
 	"revft/internal/rng"
@@ -16,6 +17,16 @@ import (
 	"revft/internal/stats"
 	"revft/internal/threshold"
 	"revft/internal/vonneumann"
+)
+
+// Engine names for MCParams.Engine.
+const (
+	// EngineScalar runs one trial at a time (sim.MonteCarlo). The empty
+	// string selects it too.
+	EngineScalar = "scalar"
+	// EngineLanes runs 64 bit-sliced trials per batch
+	// (sim.MonteCarloLanes with the internal/lanes word kernels).
+	EngineLanes = "lanes"
 )
 
 // MCParams controls the Monte Carlo experiment drivers.
@@ -26,11 +37,29 @@ type MCParams struct {
 	Workers int
 	// Seed makes every experiment reproducible.
 	Seed uint64
+	// Engine selects the execution engine for the drivers that support
+	// both: EngineScalar (default) or EngineLanes. The engines agree
+	// statistically but consume randomness differently, so switching
+	// engines changes individual estimates within their confidence
+	// intervals.
+	Engine string
 }
+
+// useLanes reports whether the 64-lane engine was requested.
+func (p MCParams) useLanes() bool { return p.Engine == EngineLanes }
 
 // DefaultMCParams returns sensible defaults for interactive runs.
 func DefaultMCParams() MCParams {
 	return MCParams{Trials: 200000, Seed: 1}
+}
+
+// gadgetRate dispatches a gadget's logical-error-rate estimate to the
+// selected engine.
+func gadgetRate(g *core.Gadget, m noise.Model, p MCParams, seed uint64) stats.Bernoulli {
+	if p.useLanes() {
+		return g.LogicalErrorRateLanes(m, p.Trials, p.Workers, seed)
+	}
+	return g.LogicalErrorRate(m, p.Trials, p.Workers, seed)
 }
 
 // Recovery measures the Figure 2 extended rectangle: the level-1 logical
@@ -44,7 +73,7 @@ func Recovery(gs []float64, p MCParams) *Table {
 	}
 	gad := core.NewGadget(gate.MAJ, 1)
 	for i, g := range gs {
-		est := gad.LogicalErrorRate(noise.Uniform(g), p.Trials, p.Workers, p.Seed+uint64(i))
+		est := gadgetRate(gad, noise.Uniform(g), p, p.Seed+uint64(i))
 		lo, hi := est.Wilson(1.96)
 		bound := threshold.LogicalBound(g, threshold.GNonLocalInit)
 		t.AddRow(g, est.Rate(), ciStr(lo, hi), bound, lo <= bound, hi < g)
@@ -64,7 +93,7 @@ func Levels(gs []float64, maxLevel int, p MCParams) *Table {
 	for l := 0; l <= maxLevel; l++ {
 		gad := core.NewGadget(gate.MAJ, l)
 		for i, g := range gs {
-			est := gad.LogicalErrorRate(noise.Uniform(g), p.Trials, p.Workers,
+			est := gadgetRate(gad, noise.Uniform(g), p,
 				p.Seed+uint64(1000*l+i))
 			lo, hi := est.Wilson(1.96)
 			t.AddRow(g, l, est.Rate(), ciStr(lo, hi), threshold.LevelRate(g, threshold.GNonLocalInit, l))
@@ -87,13 +116,22 @@ func Local(gs []float64, p MCParams) *Table {
 	c1 := lattice.NewCycle1D(gate.MAJ)
 	for i, g := range gs {
 		m := noise.Uniform(g)
-		e2 := cycleErrorRate(c2, m, p.Trials, p.Workers, p.Seed+uint64(2*i))
-		e1 := cycleErrorRate(c1, m, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		e2 := cycleRate(c2, m, p, p.Seed+uint64(2*i))
+		e1 := cycleRate(c1, m, p, p.Seed+uint64(2*i+1))
 		t.AddRow(g, e2.Rate(), e2.Rate()/(g*g), e1.Rate(), e1.Rate()/g, e1.Rate()/(g*g))
 	}
 	t.AddNote("2D scales quadratically (strict single-fault tolerance, verified exhaustively)")
 	t.AddNote("1D keeps a linear component from data-data crossing swaps — the channel §3.2's accounting misses")
 	return t
+}
+
+// cycleRate dispatches a local cycle's error-rate estimate to the
+// selected engine.
+func cycleRate(c *lattice.Cycle, m noise.Model, p MCParams, seed uint64) stats.Bernoulli {
+	if p.useLanes() {
+		return cycleErrorRateLanes(c, m, p.Trials, p.Workers, seed)
+	}
+	return cycleErrorRate(c, m, p.Trials, p.Workers, seed)
 }
 
 func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
@@ -111,6 +149,33 @@ func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed u
 			}
 		}
 		return false
+	})
+}
+
+// cycleErrorRateLanes is cycleErrorRate on the 64-lane engine: random
+// logical inputs per lane, one compiled noisy run per batch, word-parallel
+// majority decode.
+func cycleErrorRateLanes(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	prog := lanes.Compile(c.Circuit, m)
+	nin := len(c.In)
+	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+		st := lanes.NewState(c.Circuit.Width())
+		ins := make([]uint64, nin)
+		for i := range ins {
+			ins[i] = r.Uint64()
+		}
+		for i, wires := range c.In {
+			lanes.Encode(st, wires, ins[i])
+		}
+		prog.Run(st, r)
+		want := make([]uint64, nin)
+		copy(want, ins)
+		lanes.Eval(c.Kind, want)
+		var fail uint64
+		for i, wires := range c.Out {
+			fail |= lanes.Decode(st, wires) ^ want[i]
+		}
+		return fail
 	})
 }
 
@@ -178,8 +243,14 @@ func AdderModule(n int, gs []float64, p MCParams) *Table {
 	T := float64(logical.GateCount())
 	for i, g := range gs {
 		nm := noise.Uniform(g)
-		bare := core.UnprotectedErrorRate(logical, in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i))
-		ft := m.ErrorRate(in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		var bare, ft stats.Bernoulli
+		if p.useLanes() {
+			bare = core.UnprotectedErrorRateLanes(logical, in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i))
+			ft = m.ErrorRateLanes(in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		} else {
+			bare = core.UnprotectedErrorRate(logical, in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i))
+			ft = m.ErrorRate(in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
+		}
 		t.AddRow(g, bare.Rate(), threshold.UnprotectedModuleError(g, T), ft.Rate(), ft.Rate() < bare.Rate())
 	}
 	t.AddNote("T = %d logical gates; FT module has %d physical ops on %d wires",

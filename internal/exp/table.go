@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -43,13 +44,12 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
+// formatFloat renders mid-range magnitudes compactly and forces scientific
+// notation for very small or very large ones, so sweep columns stay
+// aligned and comparable across decades.
 func formatFloat(v float64) string {
-	a := v
-	if a < 0 {
-		a = -a
-	}
-	if a != 0 && (a < 1e-3 || a >= 1e6) {
-		return fmt.Sprintf("%.4g", v)
+	if a := math.Abs(v); a != 0 && (a < 1e-3 || a >= 1e6) {
+		return fmt.Sprintf("%.4e", v)
 	}
 	return fmt.Sprintf("%.4g", v)
 }
@@ -82,9 +82,14 @@ func (t *Table) Format() string {
 		b.WriteString("\n")
 	}
 	writeRow(t.Header)
+	// Rule width: the columns plus the two-space gaps between them (one
+	// fewer gap than columns).
 	total := 0
 	for _, w := range widths {
-		total += w + 2
+		total += w
+	}
+	if len(widths) > 1 {
+		total += 2 * (len(widths) - 1)
 	}
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteString("\n")

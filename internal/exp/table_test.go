@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatFloat pins the small/large-magnitude branch: values outside
+// [1e-3, 1e6) must come out in scientific notation, mid-range values in
+// compact %g form. (The branch was once dead — both arms returned %.4g.)
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{0.25, "0.25"},
+		{1e-3, "0.001"},
+		{999999, "1e+06"}, // %.4g rounds to 4 significant digits
+		{123.456, "123.5"},
+		{-123.456, "-123.5"},
+		{9.99e-4, "9.9900e-04"},
+		{1e-7, "1.0000e-07"},
+		{-1e-7, "-1.0000e-07"},
+		{1e6, "1.0000e+06"},
+		{2.5e8, "2.5000e+08"},
+		{-3e9, "-3.0000e+09"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// TestFormatRuleWidth pins the separator: the dashed rule must be exactly
+// as wide as the widest row (columns plus two-space gaps), not overhang it.
+func TestFormatRuleWidth(t *testing.T) {
+	tb := &Table{
+		ID:     "X",
+		Title:  "rule",
+		Header: []string{"ab", "cdef", "g"},
+	}
+	tb.AddRow("a", "longest", "xx")
+	lines := strings.Split(tb.Format(), "\n")
+	// lines: title, header, rule, row, "".
+	if len(lines) < 4 {
+		t.Fatalf("unexpected format output: %q", lines)
+	}
+	rule := lines[2]
+	if strings.Trim(rule, "-") != "" {
+		t.Fatalf("line 2 is not the rule: %q", rule)
+	}
+	// Widths: 2, 7, 2 -> 11 chars of columns + 2 gaps of 2 = 15.
+	if want := 2 + 7 + 2 + 2*2; len(rule) != want {
+		t.Errorf("rule is %d chars, want %d", len(rule), want)
+	}
+	// The rule must not overhang the widest rendered row. (Rows whose
+	// last cell is narrower than its column render shorter, since
+	// trailing padding is omitted.)
+	widest := 0
+	for _, l := range []string{lines[1], lines[3]} {
+		if len(l) > widest {
+			widest = len(l)
+		}
+	}
+	if len(rule) > widest {
+		t.Errorf("rule (%d chars) overhangs widest row (%d chars)", len(rule), widest)
+	}
+}
+
+// TestFormatSingleColumnRule checks the degenerate one-column table: no
+// gaps, rule width equals the column width.
+func TestFormatSingleColumnRule(t *testing.T) {
+	tb := &Table{ID: "Y", Title: "one", Header: []string{"col"}}
+	tb.AddRow("value")
+	lines := strings.Split(tb.Format(), "\n")
+	if got, want := len(lines[2]), len("value"); got != want {
+		t.Errorf("single-column rule is %d chars, want %d", got, want)
+	}
+}

@@ -1,0 +1,297 @@
+package lanes
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/code"
+	"revft/internal/gate"
+	"revft/internal/noise"
+	"revft/internal/rng"
+)
+
+// TestEvalMatchesGateTables packs every local input state of every gate
+// into distinct lanes and checks the word kernel against the lookup table.
+func TestEvalMatchesGateTables(t *testing.T) {
+	for _, k := range gate.Kinds() {
+		arity := k.Arity()
+		n := 1 << uint(arity)
+		// Lane j carries local input j: w[i] bit j = bit i of j.
+		w := make([]uint64, arity)
+		for j := 0; j < n; j++ {
+			for i := 0; i < arity; i++ {
+				w[i] |= uint64(j) >> uint(i) & 1 << uint(j)
+			}
+		}
+		Eval(k, w)
+		for j := 0; j < n; j++ {
+			var got uint64
+			for i := 0; i < arity; i++ {
+				got |= w[i] >> uint(j) & 1 << uint(i)
+			}
+			if want := k.Eval(uint64(j)); got != want {
+				t.Errorf("%s kernel: input %0*b -> %0*b, table says %0*b",
+					k, arity, j, arity, got, arity, want)
+			}
+		}
+	}
+}
+
+// TestRunNoiselessMatchesScalar runs random circuits on random per-lane
+// states with both engines and demands bit-identical results.
+func TestRunNoiselessMatchesScalar(t *testing.T) {
+	const width = 8
+	r := rng.New(11)
+	kinds := gate.Kinds()
+	for trial := 0; trial < 50; trial++ {
+		c := circuit.New(width)
+		for len := 0; len < 40; len++ {
+			k := kinds[r.Intn(10)]
+			perm := r.Perm(width)
+			c.Append(k, perm[:k.Arity()]...)
+		}
+		st := NewState(width)
+		for w := range st {
+			st[w] = r.Uint64()
+		}
+		want := make([]uint64, width)
+		for lane := 0; lane < 64; lane++ {
+			sc := bitvec.New(width)
+			for w := 0; w < width; w++ {
+				sc.Set(w, st[w]>>uint(lane)&1 == 1)
+			}
+			c.Run(sc)
+			for w := 0; w < width; w++ {
+				if sc.Get(w) {
+					want[w] |= 1 << uint(lane)
+				}
+			}
+		}
+		prog := Compile(c, noise.Noiseless)
+		prog.RunNoiseless(st)
+		for w := 0; w < width; w++ {
+			if st[w] != want[w] {
+				t.Fatalf("circuit %d wire %d: lanes %064b, scalar %064b", trial, w, st[w], want[w])
+			}
+		}
+	}
+}
+
+// TestRunNoiselessModelFaultFree checks that Run under the noiseless model
+// is exactly RunNoiseless and reports zero fault events.
+func TestRunNoiselessModelFaultFree(t *testing.T) {
+	c := circuit.New(3).MAJ(0, 1, 2).Swap3(0, 1, 2).MAJInv(0, 1, 2)
+	prog := Compile(c, noise.Noiseless)
+	a, b := NewState(3), NewState(3)
+	r := rng.New(3)
+	for w := range a {
+		a[w] = r.Uint64()
+		b[w] = a[w]
+	}
+	if faults := prog.Run(a, rng.New(4)); faults != 0 {
+		t.Fatalf("noiseless Run reported %d faults", faults)
+	}
+	prog.RunNoiseless(b)
+	for w := range a {
+		if a[w] != b[w] {
+			t.Fatalf("wire %d: noisy-path %x, noiseless %x", w, a[w], b[w])
+		}
+	}
+}
+
+func TestBernoulliMaskEdges(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		if m := BernoulliMask(r, 0); m != 0 {
+			t.Fatalf("p=0 mask = %064b", m)
+		}
+		if m := BernoulliMask(r, -1); m != 0 {
+			t.Fatalf("p<0 mask = %064b", m)
+		}
+		if m := BernoulliMask(r, 1); m != ^uint64(0) {
+			t.Fatalf("p=1 mask = %064b", m)
+		}
+		if m := BernoulliMask(r, 2); m != ^uint64(0) {
+			t.Fatalf("p>1 mask = %064b", m)
+		}
+	}
+}
+
+// TestBernoulliMaskRate checks the per-lane fault fraction and that no
+// lane is favored (the geometric-skip construction must stay uniform
+// across positions).
+func TestBernoulliMaskRate(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
+		r := rng.New(uint64(1000 * p))
+		const draws = 200000
+		perLane := make([]int, 64)
+		total := 0
+		for i := 0; i < draws; i++ {
+			m := BernoulliMask(r, p)
+			total += bits.OnesCount64(m)
+			for m != 0 {
+				l := bits.TrailingZeros64(m)
+				perLane[l]++
+				m &= m - 1
+			}
+		}
+		n := float64(draws * 64)
+		rate := float64(total) / n
+		tol := 4 * math.Sqrt(p*(1-p)/n) // ±4σ
+		if math.Abs(rate-p) > tol {
+			t.Errorf("p=%v: overall rate %v (tolerance %v)", p, rate, tol)
+		}
+		laneTol := 5 * math.Sqrt(p*(1-p)/float64(draws))
+		for l, c := range perLane {
+			lr := float64(c) / draws
+			if math.Abs(lr-p) > laneTol {
+				t.Errorf("p=%v: lane %d rate %v (tolerance %v)", p, l, lr, laneTol)
+			}
+		}
+	}
+}
+
+// TestRunFaultRate checks that fault events occur at the modeled per-op
+// per-lane rate and that faulted lanes are actually randomized.
+func TestRunFaultRate(t *testing.T) {
+	const g = 0.05
+	c := circuit.New(3)
+	for i := 0; i < 50; i++ {
+		c.MAJ(0, 1, 2)
+	}
+	prog := Compile(c, noise.Uniform(g))
+	r := rng.New(7)
+	total := 0
+	const batches = 400
+	for i := 0; i < batches; i++ {
+		st := NewState(3)
+		total += prog.Run(st, r)
+	}
+	n := float64(batches * 50 * 64)
+	rate := float64(total) / n
+	if tol := 4 * math.Sqrt(g*(1-g)/n); math.Abs(rate-g) > tol {
+		t.Fatalf("fault rate %v, want %v ± %v", rate, g, tol)
+	}
+}
+
+// TestRunAlwaysFaultsUniform mirrors sim.TestRunNoisyAlwaysFaults: with
+// g = 1 every lane faults on the single op and the 3-bit outputs must be
+// uniform over the 8 local states.
+func TestRunAlwaysFaultsUniform(t *testing.T) {
+	c := circuit.New(3).MAJ(0, 1, 2)
+	prog := Compile(c, noise.Uniform(1))
+	r := rng.New(9)
+	counts := make(map[uint64]int)
+	const batches = 200
+	for i := 0; i < batches; i++ {
+		st := NewState(3)
+		if faults := prog.Run(st, r); faults != 64 {
+			t.Fatalf("g=1 batch had %d fault events, want 64", faults)
+		}
+		for lane := 0; lane < 64; lane++ {
+			var s uint64
+			for w := 0; w < 3; w++ {
+				s |= st[w] >> uint(lane) & 1 << uint(w)
+			}
+			counts[s]++
+		}
+	}
+	n := batches * 64
+	if len(counts) != 8 {
+		t.Fatalf("faulty outputs cover %d states, want 8", len(counts))
+	}
+	for s, c := range counts {
+		f := float64(c) / float64(n)
+		if math.Abs(f-0.125) > 0.02 {
+			t.Fatalf("state %03b frequency %v, want ~1/8", s, f)
+		}
+	}
+}
+
+// TestEncodeDecode round-trips codewords through the lane-wise coder and
+// checks single-error correction lane by lane against package code.
+func TestEncodeDecode(t *testing.T) {
+	r := rng.New(13)
+	for level := 0; level <= 2; level++ {
+		n := code.BlockSize(level)
+		wires := make([]int, n)
+		for i := range wires {
+			wires[i] = i
+		}
+		st := NewState(n)
+		vals := r.Uint64()
+		Encode(st, wires, vals)
+		if got := Decode(st, wires); got != vals {
+			t.Fatalf("level %d: decoded %x, want %x", level, got, vals)
+		}
+		if level == 0 {
+			continue
+		}
+		// A single corrupted wire (any lane pattern) must not change any
+		// lane's decode at level >= 1.
+		for w := 0; w < n; w++ {
+			st[w] ^= r.Uint64()
+			if got := Decode(st, wires); got != vals {
+				t.Fatalf("level %d: single error on wire %d broke decode", level, w)
+			}
+			Encode(st, wires, vals)
+		}
+	}
+}
+
+func TestDecodeRejectsBadBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode of a 4-wire block did not panic")
+		}
+	}()
+	Decode(NewState(4), []int{0, 1, 2, 3})
+}
+
+// TestDecodeMatchesCode cross-checks random corrupted codewords against
+// the scalar recursive decoder.
+func TestDecodeMatchesCode(t *testing.T) {
+	r := rng.New(17)
+	const level = 2
+	n := code.BlockSize(level)
+	wires := make([]int, n)
+	for i := range wires {
+		wires[i] = i
+	}
+	for trial := 0; trial < 20; trial++ {
+		st := NewState(n)
+		for w := range st {
+			st[w] = r.Uint64()
+		}
+		got := Decode(st, wires)
+		for lane := 0; lane < 64; lane++ {
+			sc := bitvec.New(n)
+			for w := 0; w < n; w++ {
+				sc.Set(w, st[w]>>uint(lane)&1 == 1)
+			}
+			if want := code.Decode(sc, wires, level); want != (got>>uint(lane)&1 == 1) {
+				t.Fatalf("trial %d lane %d: lanes decode %v, scalar %v",
+					trial, lane, got>>uint(lane)&1 == 1, want)
+			}
+		}
+	}
+}
+
+func TestCompileClampsProbabilities(t *testing.T) {
+	c := circuit.New(1).NOT(0)
+	prog := Compile(c, noise.IID{Gate: 7})
+	st := NewState(1)
+	prog.Run(st, rng.New(1))
+	if prog.ops[0].p != 1 {
+		t.Fatalf("fault probability %v, want clamp to 1", prog.ops[0].p)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if Broadcast(true) != ^uint64(0) || Broadcast(false) != 0 {
+		t.Fatal("Broadcast is not all-ones / all-zeros")
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"revft/internal/rng"
+	"revft/internal/stats"
+)
+
+// BatchTrial simulates 64 independent trial lanes at once and returns a
+// failure mask: bit j set means lane j's trial "succeeded" (e.g. observed
+// a logical failure). It must draw all randomness from r.
+type BatchTrial func(r *rng.RNG) uint64
+
+// MonteCarloLanes is the 64-lane analogue of MonteCarlo: it runs trials
+// independent lanes of batch across workers goroutines and aggregates the
+// population count of the returned masks. Worker seeding follows MonteCarlo
+// exactly — one jumped xoshiro256** stream per worker derived from seed —
+// so results are reproducible for a fixed (seed, workers) pair. The final
+// batch of each worker may cover fewer than 64 trials; its excess lanes
+// are simulated but not counted, so every counted trial runs exactly once.
+// workers <= 0 selects GOMAXPROCS.
+func MonteCarloLanes(trials, workers int, seed uint64, batch BatchTrial) stats.Bernoulli {
+	if trials <= 0 {
+		return stats.Bernoulli{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Never hand a worker an empty share: cap at one worker per 64-lane
+	// batch (the unit of work), like MonteCarlo caps at one per trial.
+	if batches := (trials + 63) / 64; workers > batches {
+		workers = batches
+	}
+
+	master := rng.New(seed)
+	streams := make([]*rng.RNG, workers)
+	for i := range streams {
+		streams[i] = master.Jump()
+	}
+
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Spread the remainder so every trial runs exactly once.
+		n := trials / workers
+		if w < trials%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			r := streams[w]
+			hits := 0
+			for remaining := n; remaining > 0; {
+				m := batch(r)
+				if remaining < 64 {
+					m &= 1<<uint(remaining) - 1
+					remaining = 0
+				} else {
+					remaining -= 64
+				}
+				hits += bits.OnesCount64(m)
+			}
+			counts[w] = hits
+		}(w, n)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return stats.Bernoulli{Trials: trials, Successes: total}
+}

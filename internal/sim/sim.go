@@ -1,11 +1,13 @@
 // Package sim executes reversible circuits under noise.
 //
-// It provides three execution modes:
+// It provides four execution modes:
 //
 //   - RunNoisy: sample the paper's random fault channel once;
 //   - RunInjected: deterministic fault injection from a noise.Plan, used to
 //     prove fault-tolerance claims exhaustively;
-//   - MonteCarlo: a parallel trial harness with per-worker RNG streams.
+//   - MonteCarlo: a parallel trial harness with per-worker RNG streams;
+//   - MonteCarloLanes: the same harness for 64-lane bit-sliced batch trials
+//     (see package lanes), for runs where trial count dominates.
 package sim
 
 import (

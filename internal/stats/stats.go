@@ -64,10 +64,13 @@ func LogSpace(lo, hi float64, n int) []float64 {
 		panic("stats: LogSpace bounds must be positive")
 	}
 	if n == 1 {
+		if lo != hi {
+			panic("stats: LogSpace needs lo == hi when n == 1")
+		}
 		return []float64{lo}
 	}
 	if n < 2 {
-		panic("stats: LogSpace needs n >= 1")
+		panic("stats: LogSpace needs n >= 2")
 	}
 	out := make([]float64, n)
 	llo, lhi := math.Log(lo), math.Log(hi)
@@ -81,12 +84,16 @@ func LogSpace(lo, hi float64, n int) []float64 {
 }
 
 // LinSpace returns n values linearly spaced from lo to hi inclusive.
+// It panics unless n >= 2 (or n == 1 with lo == hi).
 func LinSpace(lo, hi float64, n int) []float64 {
 	if n == 1 {
+		if lo != hi {
+			panic("stats: LinSpace needs lo == hi when n == 1")
+		}
 		return []float64{lo}
 	}
 	if n < 2 {
-		panic("stats: LinSpace needs n >= 1")
+		panic("stats: LinSpace needs n >= 2")
 	}
 	out := make([]float64, n)
 	for i := range out {

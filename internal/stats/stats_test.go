@@ -99,9 +99,10 @@ func TestLogSpaceSingle(t *testing.T) {
 
 func TestLogSpacePanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"zero lo": func() { LogSpace(0, 1, 3) },
-		"neg hi":  func() { LogSpace(1, -1, 3) },
-		"n=0":     func() { LogSpace(1, 2, 0) },
+		"zero lo":           func() { LogSpace(0, 1, 3) },
+		"neg hi":            func() { LogSpace(1, -1, 3) },
+		"n=0":               func() { LogSpace(1, 2, 0) },
+		"n=1 with lo != hi": func() { LogSpace(1, 2, 1) },
 	} {
 		func() {
 			defer func() {
@@ -111,6 +112,40 @@ func TestLogSpacePanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestSpacePanicMessages pins the documented contract: the messages must
+// name the real requirement (n >= 2), and n == 1 is only legal when the
+// endpoints coincide.
+func TestSpacePanicMessages(t *testing.T) {
+	mustPanicWith := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+			if msg, ok := r.(string); !ok || msg != want {
+				t.Fatalf("%s panicked with %v, want %q", name, r, want)
+			}
+		}()
+		f()
+	}
+	mustPanicWith("LogSpace n=0", "stats: LogSpace needs n >= 2",
+		func() { LogSpace(1, 2, 0) })
+	mustPanicWith("LogSpace n=1 lo!=hi", "stats: LogSpace needs lo == hi when n == 1",
+		func() { LogSpace(1, 2, 1) })
+	mustPanicWith("LinSpace n=-1", "stats: LinSpace needs n >= 2",
+		func() { LinSpace(0, 1, -1) })
+	mustPanicWith("LinSpace n=1 lo!=hi", "stats: LinSpace needs lo == hi when n == 1",
+		func() { LinSpace(0, 1, 1) })
+}
+
+func TestLinSpaceSingle(t *testing.T) {
+	xs := LinSpace(0.5, 0.5, 1)
+	if len(xs) != 1 || xs[0] != 0.5 {
+		t.Fatalf("LinSpace single = %v", xs)
 	}
 }
 

@@ -14,18 +14,25 @@ import (
 // gate cycle) for each architecture, as published in the paper.
 const (
 	// GNonLocalInit is the non-local scheme counting initialization:
-	// 3 transversal gates + E = 8 recovery ops (§2.2). Threshold 1/165.
+	// 3 transversal gates + E = 8 recovery ops (two Init3, three MAJ⁻¹,
+	// three MAJ), so 3 + E = 3 + 8 = 11 (§2.2). Threshold 1/165.
 	GNonLocalInit = 11
-	// GNonLocal assumes initialization far more accurate than gates:
-	// 3 + E = 6 (§2.2). Threshold 1/108.
+	// GNonLocal assumes initialization far more accurate than gates,
+	// dropping the two Init3 ops from the recovery count:
+	// 3 + E = 3 + 6 = 9 (§2.2). Threshold 1/108.
 	GNonLocal = 9
 	// G2DInit and G2D are the paper's published 2D near-neighbor counts
-	// (§3.1): thresholds 1/360 and 1/273.
+	// (§3.1): the non-local counts plus the SWAP3 routing of the
+	// perpendicular interleave (see lattice/grid2d.go for the schedule).
+	// Like every pair here, the two counts differ by the recovery's two
+	// Init3 ops. Thresholds 1/360 and 1/273.
 	G2DInit = 16
 	G2D     = 14
 	// G1DInit and G1D are the 1D near-neighbor counts (§3.2): 27 gates for
-	// the interleaved logical operation plus 13 (or 11) for local
-	// recovery. Thresholds 1/2340 and 1/2109.
+	// the interleaved logical operation (12 SWAP3 in, 3 transversal,
+	// 12 SWAP3 out) plus 13 for local recovery counting initialization
+	// (27 + 13 = 40) or 11 without (27 + 11 = 38). Thresholds 1/2340 and
+	// 1/2109.
 	G1DInit = 40
 	G1D     = 38
 )
