@@ -6,6 +6,7 @@ package revft_test
 // reproduces the full sweep.
 
 import (
+	"fmt"
 	"testing"
 
 	"revft"
@@ -58,6 +59,15 @@ func BenchmarkFigure2Recovery(b *testing.B) {
 // gadget (level-1 MAJ plus recovery) at g = 10⁻³, single worker, through
 // the same harness. Per-op time is per trial, so ns/op here divided by
 // ns/op there is the engines' throughput ratio.
+//
+// The harness keeps each worker's hit/done counts in locals and publishes
+// them once, at worker exit, into two shared atomic totals. The earlier
+// design gave each worker a slot in one shared counts slice; adjacent
+// slots share a cache line, so per-trial writes from different workers
+// invalidated each other's lines (false sharing) and multi-worker scaling
+// fell visibly short of linear on the scalar engine, whose per-trial work
+// is small. BenchmarkHarnessScaling shows the scaling across worker
+// counts.
 func BenchmarkScalarRecovery(b *testing.B) {
 	g := revft.NewGadget(revft.MAJ, 1)
 	m := revft.UniformNoise(1e-3)
@@ -70,6 +80,20 @@ func BenchmarkLanesRecovery(b *testing.B) {
 	m := revft.UniformNoise(1e-3)
 	b.ResetTimer()
 	g.LogicalErrorRateLanes(m, b.N, 1, 1)
+}
+
+// BenchmarkHarnessScaling runs the scalar engine on the recovery gadget
+// across worker counts; ns/op is still per trial, so ideal scaling halves
+// it per doubling. This is the benchmark that regressed under the old
+// false-sharing counter layout.
+func BenchmarkHarnessScaling(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			g.LogicalErrorRate(m, b.N, w, 1)
+		})
+	}
 }
 
 // BenchmarkFigure3ConcatenatedGate runs one noisy trial of the level-L

@@ -11,7 +11,7 @@
 //	revft-mc -exp entropy
 //	revft-mc -exp vonneumann
 //	revft-mc -exp adder      [-bits 4]
-//	revft-mc -exp initablation|correlated|interleave|memory
+//	revft-mc -exp initablation|correlated|interleave|memory|idle
 //
 // Common flags: -trials, -workers, -seed, -csv, -engine.
 //
@@ -20,12 +20,36 @@
 // "lanes" packs 64 bit-sliced trials per batch for roughly hardware-word
 // speedup at identical statistics. Experiments without a lane path ignore
 // the flag.
+//
+// The sweep experiments (recovery, levels, local, adder) also run on a
+// resilient runtime with these flags:
+//
+//	-checkpoint ck.json   rewrite an atomic JSON checkpoint after every
+//	                      completed sweep point
+//	-resume               load -checkpoint and skip its completed points;
+//	                      the checkpoint must come from an identical spec
+//	                      (experiment, grid, trials, seed, engine, ...)
+//	-timeout 10m          cancel the sweep after a wall-clock budget
+//	-reltol 0.05          adaptive early stopping: per point, stop once every
+//	                      estimate's 95% Wilson half-width is at most reltol
+//	                      times its rate (floor 1000 trials, ceiling -trials)
+//	-progress             print one line per completed point to stderr
+//
+// SIGINT/SIGTERM cancels the sweep cleanly: in-flight trials stop at the
+// next batch boundary, the checkpoint is flushed, and the partial table is
+// printed with a [PARTIAL] title tag. Rerunning with the same spec and
+// -resume finishes the sweep; the final table is bit-identical to an
+// uninterrupted run for a fixed (seed, workers, engine).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"revft/internal/exp"
 	"revft/internal/stats"
@@ -52,6 +76,12 @@ func run(args []string) error {
 		maxLevel = fs.Int("maxlevel", 2, "deepest concatenation level (levels experiment)")
 		bits     = fs.Int("bits", 4, "adder width (adder experiment)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+
+		checkpoint = fs.String("checkpoint", "", "checkpoint file for the sweep experiments (rewritten after every completed point)")
+		resume     = fs.Bool("resume", false, "resume from -checkpoint, skipping completed points")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the sweep experiments (0 = none)")
+		reltol     = fs.Float64("reltol", 0, "adaptive early stopping: target relative 95% CI half-width per point (0 = fixed -trials)")
+		progress   = fs.Bool("progress", false, "print per-point progress to stderr (sweep experiments)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,38 +95,90 @@ func run(args []string) error {
 	p := exp.MCParams{Trials: *trials, Workers: *workers, Seed: *seed, Engine: *engine}
 	gs := stats.LogSpace(*gmin, *gmax, *points)
 
-	var t *exp.Table
+	sweepExp := false
 	switch *expName {
-	case "recovery":
-		t = exp.Recovery(gs, p)
-	case "levels":
-		t = exp.Levels(gs, *maxLevel, p)
-	case "local":
-		t = exp.Local(gs, p)
-	case "entropy":
-		t = exp.EntropyMeasured(gs, p)
-	case "vonneumann":
-		t = exp.VonNeumannChain(p)
-	case "adder":
-		t = exp.AdderModule(*bits, gs, p)
-	case "initablation":
-		t = exp.InitAblation(gs, p)
-	case "correlated":
-		t = exp.CorrelatedNoise(*gmax, []float64{0, 0.25, 0.5, 0.75, 0.9}, p)
-	case "interleave":
-		t = exp.InterleaveAblation(gs, p)
-	case "memory":
-		t = exp.MemoryExperiment(*gmax, []int{1, 2, 5, 10, 20, 50}, p)
-	case "idle":
-		t = exp.IdleNoise(*gmax, []float64{0, 0.1, 0.5, 1, 2}, p)
-	default:
-		return fmt.Errorf("unknown experiment %q", *expName)
+	case "recovery", "levels", "local", "adder":
+		sweepExp = true
+	}
+	if !sweepExp {
+		for name, set := range map[string]bool{
+			"-checkpoint": *checkpoint != "",
+			"-resume":     *resume,
+			"-timeout":    *timeout != 0,
+			"-reltol":     *reltol != 0,
+			"-progress":   *progress,
+		} {
+			if set {
+				return fmt.Errorf("%s only applies to the sweep experiments (recovery, levels, local, adder), not %q", name, *expName)
+			}
+		}
+	}
+	if *resume && *checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+
+	var t *exp.Table
+	var sweepErr error
+	if sweepExp {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		if *timeout > 0 {
+			var tcancel context.CancelFunc
+			ctx, tcancel = context.WithTimeout(ctx, *timeout)
+			defer tcancel()
+		}
+		o := exp.SweepOptions{
+			Checkpoint: *checkpoint,
+			Resume:     *resume,
+			RelTol:     *reltol,
+		}
+		if *progress {
+			o.Progress = os.Stderr
+		}
+		switch *expName {
+		case "recovery":
+			t, sweepErr = exp.RecoveryCtx(ctx, gs, p, o)
+		case "levels":
+			t, sweepErr = exp.LevelsCtx(ctx, gs, *maxLevel, p, o)
+		case "local":
+			t, sweepErr = exp.LocalCtx(ctx, gs, p, o)
+		case "adder":
+			t, sweepErr = exp.AdderModuleCtx(ctx, *bits, gs, p, o)
+		}
+		if t == nil {
+			return sweepErr
+		}
+	} else {
+		switch *expName {
+		case "entropy":
+			t = exp.EntropyMeasured(gs, p)
+		case "vonneumann":
+			t = exp.VonNeumannChain(p)
+		case "initablation":
+			t = exp.InitAblation(gs, p)
+		case "correlated":
+			t = exp.CorrelatedNoise(*gmax, []float64{0, 0.25, 0.5, 0.75, 0.9}, p)
+		case "interleave":
+			t = exp.InterleaveAblation(gs, p)
+		case "memory":
+			t = exp.MemoryExperiment(*gmax, []int{1, 2, 5, 10, 20, 50}, p)
+		case "idle":
+			t = exp.IdleNoise(*gmax, []float64{0, 0.1, 0.5, 1, 2}, p)
+		default:
+			return fmt.Errorf("unknown experiment %q", *expName)
+		}
 	}
 
 	if *csv {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Println(t.Format())
+	}
+	if sweepErr != nil {
+		if *checkpoint != "" {
+			return fmt.Errorf("sweep interrupted (%w); completed points are checkpointed in %s — rerun with -resume to finish", sweepErr, *checkpoint)
+		}
+		return fmt.Errorf("sweep interrupted (%w); rerun with -checkpoint/-resume to make interruptions recoverable", sweepErr)
 	}
 	return nil
 }

@@ -87,19 +87,33 @@ func (c *Circuit) Each(fn func(i int, k gate.Kind, targets []int)) {
 	}
 }
 
+// ValidationError is the panic value Append throws on malformed gate
+// applications (wrong arity, out-of-range target, duplicate target). A
+// distinct type lets recovering callers (like the deserializer) convert
+// exactly these panics into errors while re-panicking on anything else.
+type ValidationError struct {
+	msg string
+}
+
+func (e *ValidationError) Error() string { return e.msg }
+
+func validationf(format string, args ...any) *ValidationError {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
 // Append adds a gate application, validating arity, range, and target
-// distinctness.
+// distinctness. Validation failures panic with a *ValidationError.
 func (c *Circuit) Append(k gate.Kind, targets ...int) *Circuit {
 	if got, want := len(targets), k.Arity(); got != want {
-		panic(fmt.Sprintf("circuit: %s wants %d targets, got %d", k, want, got))
+		panic(validationf("circuit: %s wants %d targets, got %d", k, want, got))
 	}
 	for i, t := range targets {
 		if t < 0 || t >= c.width {
-			panic(fmt.Sprintf("circuit: target %d out of range [0,%d)", t, c.width))
+			panic(validationf("circuit: target %d out of range [0,%d)", t, c.width))
 		}
 		for j := 0; j < i; j++ {
 			if targets[j] == t {
-				panic(fmt.Sprintf("circuit: duplicate target %d in %s", t, k))
+				panic(validationf("circuit: duplicate target %d in %s", t, k))
 			}
 		}
 	}

@@ -19,8 +19,13 @@ func TestAppendValidation(t *testing.T) {
 	} {
 		func() {
 			defer func() {
-				if recover() == nil {
+				r := recover()
+				if r == nil {
 					t.Errorf("%s violation did not panic", name)
+					return
+				}
+				if _, ok := r.(*ValidationError); !ok {
+					t.Errorf("%s violation panicked with %T, want *ValidationError", name, r)
 				}
 			}()
 			f()

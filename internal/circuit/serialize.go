@@ -84,13 +84,19 @@ func parseOp(line string) (gate.Kind, []int, error) {
 	return kind, targets, nil
 }
 
-// appendChecked converts Append's panics (arity, range, duplicates) into
-// errors, which is the right contract when the input is external data
-// rather than programmer-constructed.
+// appendChecked converts Append's validation panics (arity, range,
+// duplicates) into errors, which is the right contract when the input is
+// external data rather than programmer-constructed. Only *ValidationError
+// panics are converted; anything else — a bug, not bad input — re-panics
+// so it cannot be swallowed as a parse error.
 func appendChecked(c *Circuit, kind gate.Kind, targets []int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
+			ve, ok := r.(*ValidationError)
+			if !ok {
+				panic(r)
+			}
+			err = ve
 		}
 	}()
 	c.Append(kind, targets...)

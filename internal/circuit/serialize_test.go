@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -139,4 +140,48 @@ func TestGateFromName(t *testing.T) {
 	if _, ok := gate.FromName("NOPE"); ok {
 		t.Error("unknown name accepted")
 	}
+}
+
+func TestAppendCheckedConvertsValidationErrors(t *testing.T) {
+	c := New(2)
+	for name, args := range map[string]struct {
+		kind    gate.Kind
+		targets []int
+	}{
+		"arity":     {gate.CNOT, []int{0}},
+		"range":     {gate.NOT, []int{2}},
+		"duplicate": {gate.CNOT, []int{1, 1}},
+	} {
+		err := appendChecked(c, args.kind, args.targets)
+		if err == nil {
+			t.Errorf("%s violation returned nil error", name)
+			continue
+		}
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s violation returned %T, want *ValidationError", name, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed appends left ops behind")
+	}
+}
+
+// TestAppendCheckedPassesThroughForeignPanics: a panic that is not one of
+// Append's validation errors must escape appendChecked unchanged — turning
+// a bug into a "parse error" would hide it. gate.Kind(99).Arity() panics
+// with a plain string inside Append, exercising the real code path.
+func TestAppendCheckedPassesThroughForeignPanics(t *testing.T) {
+	c := New(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("foreign panic was swallowed by appendChecked")
+		}
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "invalid kind") {
+			t.Fatalf("recovered %v (%T), want the gate package's invalid-kind panic", r, r)
+		}
+	}()
+	_ = appendChecked(c, gate.Kind(99), []int{0})
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"revft/internal/bitvec"
 	"revft/internal/circuit"
 	"revft/internal/code"
@@ -85,6 +87,16 @@ func (g *Gadget) TrialInput(in uint64, m noise.Model, r *rng.RNG) bool {
 // executions under model m, split across workers, seeded deterministically.
 func (g *Gadget) LogicalErrorRate(m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
 	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		return g.Trial(m, r)
+	})
+}
+
+// LogicalErrorRateCtx is LogicalErrorRate on the cancellable engine: it
+// stops between trial batches when ctx is done, returning the partial
+// estimate, and recovers trial panics into a *sim.TrialPanicError.
+// A completed run is bit-identical to LogicalErrorRate.
+func (g *Gadget) LogicalErrorRateCtx(ctx context.Context, m noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
+	return sim.MonteCarloCtx(ctx, trials, workers, seed, func(r *rng.RNG) bool {
 		return g.Trial(m, r)
 	})
 }

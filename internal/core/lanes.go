@@ -5,9 +5,12 @@ package core
 // word-kernel program. Estimates are statistically equivalent to the
 // scalar path (same noise channel, same jumped RNG streams) but not
 // bit-identical to it, since lane batches consume randomness in a
-// different order.
+// different order. Each estimator has a Ctx form on the cancellable
+// engine with identical statistics.
 
 import (
+	"context"
+
 	"revft/internal/circuit"
 	"revft/internal/lanes"
 	"revft/internal/noise"
@@ -16,14 +19,13 @@ import (
 	"revft/internal/stats"
 )
 
-// LogicalErrorRateLanes estimates g_logical like LogicalErrorRate, but on
-// the 64-lane bit-sliced engine: each batch encodes 64 uniformly random
-// logical inputs lane-wise, runs the compiled noisy program once, and
-// decodes all 64 outputs with word-parallel recursive majority.
-func (g *Gadget) LogicalErrorRateLanes(m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+// lanesBatch compiles the gadget once and returns the 64-lane batch trial:
+// encode 64 uniformly random logical inputs lane-wise, run the compiled
+// noisy program, decode with word-parallel recursive majority.
+func (g *Gadget) lanesBatch(m noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(g.Circuit, m)
 	nin := len(g.In)
-	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(g.Circuit.Width())
 		ins := make([]uint64, nin)
 		for i := range ins {
@@ -41,16 +43,28 @@ func (g *Gadget) LogicalErrorRateLanes(m noise.Model, trials, workers int, seed 
 			fail |= lanes.Decode(st, wires) ^ want[i]
 		}
 		return fail
-	})
+	}
 }
 
-// ErrorRateLanes estimates the module's logical failure probability on the
-// given input like ErrorRate, but on the 64-lane engine. All lanes carry
-// the same fixed logical input; the noise differs per lane.
-func (m *Module) ErrorRateLanes(in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+// LogicalErrorRateLanes estimates g_logical like LogicalErrorRate, but on
+// the 64-lane bit-sliced engine.
+func (g *Gadget) LogicalErrorRateLanes(m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarloLanes(trials, workers, seed, g.lanesBatch(m))
+}
+
+// LogicalErrorRateLanesCtx is LogicalErrorRateLanes on the cancellable
+// engine, with partial results and panic isolation like
+// LogicalErrorRateCtx.
+func (g *Gadget) LogicalErrorRateLanesCtx(ctx context.Context, m noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
+	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, g.lanesBatch(m))
+}
+
+// moduleBatch compiles the module once for the fixed logical input in;
+// all lanes carry the same input, the noise differs per lane.
+func (m *Module) moduleBatch(in uint64, nm noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(m.Physical, nm)
 	want := m.Logical.Eval(in)
-	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(m.Physical.Width())
 		for i, wires := range m.In {
 			lanes.Encode(st, wires, lanes.Broadcast(in>>uint(i)&1 == 1))
@@ -61,16 +75,27 @@ func (m *Module) ErrorRateLanes(in uint64, nm noise.Model, trials, workers int, 
 			fail |= lanes.Decode(st, wires) ^ lanes.Broadcast(want>>uint(i)&1 == 1)
 		}
 		return fail
-	})
+	}
 }
 
-// UnprotectedErrorRateLanes is UnprotectedErrorRate on the 64-lane engine:
-// the bare logical circuit under noise, no encoding, no recovery.
-func UnprotectedErrorRateLanes(logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+// ErrorRateLanes estimates the module's logical failure probability on the
+// given input like ErrorRate, but on the 64-lane engine.
+func (m *Module) ErrorRateLanes(in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarloLanes(trials, workers, seed, m.moduleBatch(in, nm))
+}
+
+// ErrorRateLanesCtx is ErrorRateLanes on the cancellable engine.
+func (m *Module) ErrorRateLanesCtx(ctx context.Context, in uint64, nm noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
+	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, m.moduleBatch(in, nm))
+}
+
+// unprotectedBatch compiles the bare logical circuit under noise — no
+// encoding, no recovery.
+func unprotectedBatch(logical *circuit.Circuit, in uint64, nm noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(logical, nm)
 	want := logical.Eval(in)
 	width := logical.Width()
-	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(width)
 		for w := 0; w < width; w++ {
 			st[w] = lanes.Broadcast(in>>uint(w)&1 == 1)
@@ -81,5 +106,16 @@ func UnprotectedErrorRateLanes(logical *circuit.Circuit, in uint64, nm noise.Mod
 			fail |= st[w] ^ lanes.Broadcast(want>>uint(w)&1 == 1)
 		}
 		return fail
-	})
+	}
+}
+
+// UnprotectedErrorRateLanes is UnprotectedErrorRate on the 64-lane engine.
+func UnprotectedErrorRateLanes(logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarloLanes(trials, workers, seed, unprotectedBatch(logical, in, nm))
+}
+
+// UnprotectedErrorRateLanesCtx is UnprotectedErrorRateLanes on the
+// cancellable engine.
+func UnprotectedErrorRateLanesCtx(ctx context.Context, logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
+	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, unprotectedBatch(logical, in, nm))
 }

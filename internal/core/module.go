@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"revft/internal/bitvec"
 	"revft/internal/circuit"
 	"revft/internal/code"
@@ -89,6 +91,14 @@ func (m *Module) ErrorRate(in uint64, nm noise.Model, trials, workers int, seed 
 	})
 }
 
+// ErrorRateCtx is ErrorRate on the cancellable engine: partial results on
+// cancellation, panic isolation, bit-identical when it completes.
+func (m *Module) ErrorRateCtx(ctx context.Context, in uint64, nm noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
+	return sim.MonteCarloCtx(ctx, trials, workers, seed, func(r *rng.RNG) bool {
+		return m.Trial(in, nm, r)
+	})
+}
+
 // UnprotectedTrial runs the bare logical circuit once under the same noise
 // model (no encoding, no recovery) and reports whether its output is wrong —
 // the paper's 1−(1−g)^T reference point.
@@ -104,6 +114,14 @@ func UnprotectedTrial(logical *circuit.Circuit, in uint64, nm noise.Model, r *rn
 // UnprotectedErrorRate estimates the bare circuit's failure probability.
 func UnprotectedErrorRate(logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
 	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+		return UnprotectedTrial(logical, in, nm, r)
+	})
+}
+
+// UnprotectedErrorRateCtx is UnprotectedErrorRate on the cancellable
+// engine.
+func UnprotectedErrorRateCtx(ctx context.Context, logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
+	return sim.MonteCarloCtx(ctx, trials, workers, seed, func(r *rng.RNG) bool {
 		return UnprotectedTrial(logical, in, nm, r)
 	})
 }

@@ -1,21 +1,19 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
-	"revft/internal/adder"
 	"revft/internal/bitvec"
 	"revft/internal/code"
 	"revft/internal/core"
 	"revft/internal/entropy"
-	"revft/internal/gate"
 	"revft/internal/lanes"
 	"revft/internal/lattice"
 	"revft/internal/noise"
 	"revft/internal/rng"
 	"revft/internal/sim"
 	"revft/internal/stats"
-	"revft/internal/threshold"
 	"revft/internal/vonneumann"
 )
 
@@ -53,89 +51,41 @@ func DefaultMCParams() MCParams {
 	return MCParams{Trials: 200000, Seed: 1}
 }
 
-// gadgetRate dispatches a gadget's logical-error-rate estimate to the
-// selected engine.
-func gadgetRate(g *core.Gadget, m noise.Model, p MCParams, seed uint64) stats.Bernoulli {
-	if p.useLanes() {
-		return g.LogicalErrorRateLanes(m, p.Trials, p.Workers, seed)
-	}
-	return g.LogicalErrorRate(m, p.Trials, p.Workers, seed)
-}
-
 // Recovery measures the Figure 2 extended rectangle: the level-1 logical
 // error rate of a MAJ gate followed by recovery, versus the paper's
 // Equation 1 bound 3·C(G,2)·g², across a sweep of gate error rates.
+// It is RecoveryCtx with a background context and default options; a trial
+// panic propagates.
 func Recovery(gs []float64, p MCParams) *Table {
-	t := &Table{
-		ID:     "F2",
-		Title:  "Level-1 logical error rate vs Equation 1 bound (G = 11, init counted)",
-		Header: []string{"g", "measured g_logical", "95% CI", "Eq.1 bound", "bound holds", "g_logical < g"},
-	}
-	gad := core.NewGadget(gate.MAJ, 1)
-	for i, g := range gs {
-		est := gadgetRate(gad, noise.Uniform(g), p, p.Seed+uint64(i))
-		lo, hi := est.Wilson(1.96)
-		bound := threshold.LogicalBound(g, threshold.GNonLocalInit)
-		t.AddRow(g, est.Rate(), ciStr(lo, hi), bound, lo <= bound, hi < g)
-	}
-	t.AddNote("below threshold ρ = 1/165 the measured rate must fall under both g and the quadratic bound")
-	return t
+	return mustSweep(RecoveryCtx(context.Background(), gs, p, SweepOptions{}))
 }
 
 // Levels measures the Figure 3 concatenation behavior: logical error rate
 // at levels 0–2 across a g sweep, against the Equation 2 level bounds.
 func Levels(gs []float64, maxLevel int, p MCParams) *Table {
-	t := &Table{
-		ID:     "F3",
-		Title:  "Concatenation levels: measured logical error rate vs Equation 2 (G = 11)",
-		Header: []string{"g", "level", "measured", "95% CI", "Eq.2 bound"},
-	}
-	for l := 0; l <= maxLevel; l++ {
-		gad := core.NewGadget(gate.MAJ, l)
-		for i, g := range gs {
-			est := gadgetRate(gad, noise.Uniform(g), p,
-				p.Seed+uint64(1000*l+i))
-			lo, hi := est.Wilson(1.96)
-			t.AddRow(g, l, est.Rate(), ciStr(lo, hi), threshold.LevelRate(g, threshold.GNonLocalInit, l))
-		}
-	}
-	t.AddNote("below threshold, deeper levels suppress errors doubly exponentially; above, they amplify")
-	return t
+	return mustSweep(LevelsCtx(context.Background(), gs, maxLevel, p, SweepOptions{}))
 }
 
 // Local measures the level-1 logical error rates of the local cycles: the
 // 2D perpendicular scheme (strictly fault tolerant) and the literal 1D
 // scheme, whose crossing-swap channel shows up as a linear-in-g component.
 func Local(gs []float64, p MCParams) *Table {
-	t := &Table{
-		ID:     "F4/F7",
-		Title:  "Near-neighbor cycles: measured level-1 logical error rates",
-		Header: []string{"g", "2D measured", "2D/g²", "1D measured", "1D/g", "1D/g²"},
+	return mustSweep(LocalCtx(context.Background(), gs, p, SweepOptions{}))
+}
+
+// mustSweep unwraps a sweep driver run under a background context, where
+// the only possible error is a recovered trial panic.
+func mustSweep(t *Table, err error) *Table {
+	if err != nil {
+		panic(err)
 	}
-	c2 := lattice.NewCycle2D(gate.MAJ)
-	c1 := lattice.NewCycle1D(gate.MAJ)
-	for i, g := range gs {
-		m := noise.Uniform(g)
-		e2 := cycleRate(c2, m, p, p.Seed+uint64(2*i))
-		e1 := cycleRate(c1, m, p, p.Seed+uint64(2*i+1))
-		t.AddRow(g, e2.Rate(), e2.Rate()/(g*g), e1.Rate(), e1.Rate()/g, e1.Rate()/(g*g))
-	}
-	t.AddNote("2D scales quadratically (strict single-fault tolerance, verified exhaustively)")
-	t.AddNote("1D keeps a linear component from data-data crossing swaps — the channel §3.2's accounting misses")
 	return t
 }
 
-// cycleRate dispatches a local cycle's error-rate estimate to the
-// selected engine.
-func cycleRate(c *lattice.Cycle, m noise.Model, p MCParams, seed uint64) stats.Bernoulli {
-	if p.useLanes() {
-		return cycleErrorRateLanes(c, m, p.Trials, p.Workers, seed)
-	}
-	return cycleErrorRate(c, m, p.Trials, p.Workers, seed)
-}
-
-func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
-	return sim.MonteCarlo(trials, workers, seed, func(r *rng.RNG) bool {
+// cycleTrial returns the scalar trial for one noisy cycle execution on a
+// uniformly random logical input.
+func cycleTrial(c *lattice.Cycle, m noise.Model) func(r *rng.RNG) bool {
+	return func(r *rng.RNG) bool {
 		in := r.Bits(len(c.In))
 		st := bitvec.New(c.Circuit.Width())
 		for i, wires := range c.In {
@@ -149,16 +99,20 @@ func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed u
 			}
 		}
 		return false
-	})
+	}
 }
 
-// cycleErrorRateLanes is cycleErrorRate on the 64-lane engine: random
-// logical inputs per lane, one compiled noisy run per batch, word-parallel
-// majority decode.
-func cycleErrorRateLanes(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarlo(trials, workers, seed, cycleTrial(c, m))
+}
+
+// cycleBatch compiles the cycle once and returns the 64-lane batch trial:
+// random logical inputs per lane, one compiled noisy run per batch,
+// word-parallel majority decode.
+func cycleBatch(c *lattice.Cycle, m noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(c.Circuit, m)
 	nin := len(c.In)
-	return sim.MonteCarloLanes(trials, workers, seed, func(r *rng.RNG) uint64 {
+	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(c.Circuit.Width())
 		ins := make([]uint64, nin)
 		for i := range ins {
@@ -176,7 +130,12 @@ func cycleErrorRateLanes(c *lattice.Cycle, m noise.Model, trials, workers int, s
 			fail |= lanes.Decode(st, wires) ^ want[i]
 		}
 		return fail
-	})
+	}
+}
+
+// cycleErrorRateLanes is cycleErrorRate on the 64-lane engine.
+func cycleErrorRateLanes(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
+	return sim.MonteCarloLanes(trials, workers, seed, cycleBatch(c, m))
 }
 
 // EntropyMeasured measures the ancilla entropy of one noisy recovery cycle
@@ -226,36 +185,7 @@ func VonNeumannChain(p MCParams) *Table {
 // AdderModule measures a realistic module: the n-bit Cuccaro adder compiled
 // to level 1, versus the bare adder and the 1−(1−g)^T prediction.
 func AdderModule(n int, gs []float64, p MCParams) *Table {
-	t := &Table{
-		ID:     "B1",
-		Title:  fmt.Sprintf("%d-bit reversible adder module: bare vs level-1 FT", n),
-		Header: []string{"g", "bare measured", "1−(1−g)^T", "FT level-1 measured", "FT wins"},
-	}
-	logical, l := adder.New(n)
-	m := core.CompileModule(logical, 1)
-	// Fixed representative operands.
-	var in uint64
-	a, b := uint64(0b1011)&((1<<uint(n))-1), uint64(0b0110)&((1<<uint(n))-1)
-	for i := 0; i < n; i++ {
-		in |= (a >> uint(i) & 1) << uint(l.A[i])
-		in |= (b >> uint(i) & 1) << uint(l.B[i])
-	}
-	T := float64(logical.GateCount())
-	for i, g := range gs {
-		nm := noise.Uniform(g)
-		var bare, ft stats.Bernoulli
-		if p.useLanes() {
-			bare = core.UnprotectedErrorRateLanes(logical, in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i))
-			ft = m.ErrorRateLanes(in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
-		} else {
-			bare = core.UnprotectedErrorRate(logical, in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i))
-			ft = m.ErrorRate(in, nm, p.Trials, p.Workers, p.Seed+uint64(2*i+1))
-		}
-		t.AddRow(g, bare.Rate(), threshold.UnprotectedModuleError(g, T), ft.Rate(), ft.Rate() < bare.Rate())
-	}
-	t.AddNote("T = %d logical gates; FT module has %d physical ops on %d wires",
-		logical.GateCount(), m.Physical.GateCount(), m.Physical.Width())
-	return t
+	return mustSweep(AdderModuleCtx(context.Background(), n, gs, p, SweepOptions{}))
 }
 
 func ciStr(lo, hi float64) string {

@@ -1,0 +1,315 @@
+package exp
+
+// Resilient sweep drivers: the cancellable, checkpointable forms of the
+// Monte Carlo experiments (Recovery, Levels, Local, AdderModule), built
+// on internal/sweep. The plain drivers delegate here with a background
+// context and default options, so both paths compute identical tables for
+// a fixed (seed, workers, engine).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"revft/internal/adder"
+	"revft/internal/core"
+	"revft/internal/gate"
+	"revft/internal/lattice"
+	"revft/internal/noise"
+	"revft/internal/sim"
+	"revft/internal/stats"
+	"revft/internal/sweep"
+	"revft/internal/threshold"
+)
+
+// SweepOptions configures the resilient sweep runtime.
+type SweepOptions struct {
+	// Checkpoint, when non-empty, is the JSON checkpoint path rewritten
+	// atomically after every completed sweep point.
+	Checkpoint string
+	// Resume loads Checkpoint before running and skips its completed
+	// points; the checkpoint's spec digest must match this run's.
+	Resume bool
+	// RelTol enables adaptive early stopping per point: stop once every
+	// estimate's 95% Wilson half-width is at most RelTol times its rate.
+	// 0 keeps the fixed trial budget.
+	RelTol float64
+	// MinTrials / MaxTrials are the early-stopping floor and ceiling per
+	// estimate; zero values default to min(1000, ceiling) and Trials.
+	MinTrials int
+	MaxTrials int
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner {
+	return &sweep.Runner{
+		Spec:           spec,
+		Point:          fn,
+		CheckpointPath: o.Checkpoint,
+		Resume:         o.Resume,
+		Progress:       o.Progress,
+	}
+}
+
+// engineName is Engine with the empty-string default made explicit, so
+// checkpoint digests don't distinguish "" from "scalar".
+func (p MCParams) engineName() string {
+	if p.Engine == "" {
+		return EngineScalar
+	}
+	return p.Engine
+}
+
+func sweepSpec(experiment string, grid []float64, points int, p MCParams, o SweepOptions, extra string) sweep.Spec {
+	return sweep.Spec{
+		Experiment: experiment,
+		Grid:       grid,
+		Points:     points,
+		Trials:     p.Trials,
+		Workers:    p.Workers,
+		Seed:       p.Seed,
+		Engine:     p.engineName(),
+		Extra:      extra,
+		Stop:       sweep.StopRule{RelTol: o.RelTol, MinTrials: o.MinTrials, MaxTrials: o.MaxTrials},
+	}
+}
+
+// gadgetRateCtx dispatches a gadget's cancellable logical-error-rate
+// estimate to the selected engine.
+func gadgetRateCtx(ctx context.Context, g *core.Gadget, m noise.Model, p MCParams, trials int, seed uint64) (sim.Result, error) {
+	if p.useLanes() {
+		return g.LogicalErrorRateLanesCtx(ctx, m, trials, p.Workers, seed)
+	}
+	return g.LogicalErrorRateCtx(ctx, m, trials, p.Workers, seed)
+}
+
+// cycleRateCtx dispatches a local cycle's cancellable error-rate estimate
+// to the selected engine.
+func cycleRateCtx(ctx context.Context, c *lattice.Cycle, m noise.Model, p MCParams, trials int, seed uint64) (sim.Result, error) {
+	if p.useLanes() {
+		return sim.MonteCarloLanesCtx(ctx, trials, p.Workers, seed, cycleBatch(c, m))
+	}
+	return sim.MonteCarloCtx(ctx, trials, p.Workers, seed, cycleTrial(c, m))
+}
+
+// markSweepTable annotates an interrupted sweep's table: the title gains a
+// [PARTIAL] tag and notes record what is missing, so a truncated table can
+// never be mistaken for a finished run. Completed sweeps pass through
+// untouched, keeping resumed output bit-identical to uninterrupted output.
+func markSweepTable(t *Table, out *sweep.Outcome, spec sweep.Spec, err error) {
+	if err == nil && out.Complete {
+		return
+	}
+	t.Title += " [PARTIAL]"
+	completed := 0
+	for _, pr := range out.Done {
+		if !pr.Partial {
+			completed++
+		}
+	}
+	t.AddNote("sweep interrupted: %d of %d points completed; rerun with the same spec and -resume to finish",
+		completed, spec.Points)
+	for _, pr := range out.Done {
+		if !pr.Partial {
+			continue
+		}
+		var ts []string
+		for _, e := range pr.Ests {
+			ts = append(ts, fmt.Sprint(e.Trials))
+		}
+		t.AddNote("point %d was interrupted mid-estimate (trials accumulated: %s); it is neither shown nor checkpointed",
+			pr.Index, strings.Join(ts, ", "))
+	}
+}
+
+// noteAdaptive records the per-point trial counts an adaptive run settled
+// on. The counts are deterministic for a fixed spec, so resumed and
+// uninterrupted runs print the same note.
+func noteAdaptive(t *Table, out *sweep.Outcome, o SweepOptions) {
+	if o.RelTol <= 0 {
+		return
+	}
+	var ts []string
+	for _, pr := range out.Done {
+		if !pr.Partial && len(pr.Ests) > 0 {
+			ts = append(ts, fmt.Sprint(pr.Ests[0].Trials))
+		}
+	}
+	t.AddNote("adaptive early stopping: reltol %g, trials per point: %s", o.RelTol, strings.Join(ts, ", "))
+}
+
+// RecoveryCtx is Recovery on the resilient sweep runtime: cancellable via
+// ctx, checkpoint/resume via SweepOptions, optional adaptive early
+// stopping. On interruption it returns the partial table (marked) together
+// with the cause.
+func RecoveryCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+	gad := core.NewGadget(gate.MAJ, 1)
+	spec := sweepSpec("recovery", gs, len(gs), p, o, "")
+	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		seed := sweep.ChunkSeed(p.Seed+uint64(pt), chunk)
+		res, rerr := gadgetRateCtx(ctx, gad, noise.Uniform(gs[pt]), p, trials, seed)
+		return []stats.Bernoulli{res.Bernoulli}, rerr
+	}).Run(ctx)
+	if out == nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "F2",
+		Title:  "Level-1 logical error rate vs Equation 1 bound (G = 11, init counted)",
+		Header: []string{"g", "measured g_logical", "95% CI", "Eq.1 bound", "bound holds", "g_logical < g"},
+	}
+	for _, pr := range out.Done {
+		if pr.Partial {
+			continue
+		}
+		g := gs[pr.Index]
+		est := pr.Ests[0]
+		lo, hi := est.Wilson(1.96)
+		bound := threshold.LogicalBound(g, threshold.GNonLocalInit)
+		t.AddRow(g, est.Rate(), ciStr(lo, hi), bound, lo <= bound, hi < g)
+	}
+	t.AddNote("below threshold ρ = 1/165 the measured rate must fall under both g and the quadratic bound")
+	noteAdaptive(t, out, o)
+	markSweepTable(t, out, spec, err)
+	return t, err
+}
+
+// LevelsCtx is Levels on the resilient sweep runtime; sweep points are the
+// (level, g) cross product in row order.
+func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o SweepOptions) (*Table, error) {
+	gads := make([]*core.Gadget, maxLevel+1)
+	for l := range gads {
+		gads[l] = core.NewGadget(gate.MAJ, l)
+	}
+	spec := sweepSpec("levels", gs, (maxLevel+1)*len(gs), p, o, fmt.Sprintf("maxlevel=%d", maxLevel))
+	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		l, i := pt/len(gs), pt%len(gs)
+		seed := sweep.ChunkSeed(p.Seed+uint64(1000*l+i), chunk)
+		res, rerr := gadgetRateCtx(ctx, gads[l], noise.Uniform(gs[i]), p, trials, seed)
+		return []stats.Bernoulli{res.Bernoulli}, rerr
+	}).Run(ctx)
+	if out == nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "F3",
+		Title:  "Concatenation levels: measured logical error rate vs Equation 2 (G = 11)",
+		Header: []string{"g", "level", "measured", "95% CI", "Eq.2 bound"},
+	}
+	for _, pr := range out.Done {
+		if pr.Partial {
+			continue
+		}
+		l, i := pr.Index/len(gs), pr.Index%len(gs)
+		g := gs[i]
+		est := pr.Ests[0]
+		lo, hi := est.Wilson(1.96)
+		t.AddRow(g, l, est.Rate(), ciStr(lo, hi), threshold.LevelRate(g, threshold.GNonLocalInit, l))
+	}
+	t.AddNote("below threshold, deeper levels suppress errors doubly exponentially; above, they amplify")
+	noteAdaptive(t, out, o)
+	markSweepTable(t, out, spec, err)
+	return t, err
+}
+
+// LocalCtx is Local on the resilient sweep runtime; each point estimates
+// the 2D and 1D cycles back to back.
+func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+	c2 := lattice.NewCycle2D(gate.MAJ)
+	c1 := lattice.NewCycle1D(gate.MAJ)
+	spec := sweepSpec("local", gs, len(gs), p, o, "")
+	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		m := noise.Uniform(gs[pt])
+		e2, rerr := cycleRateCtx(ctx, c2, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk))
+		if rerr != nil {
+			return []stats.Bernoulli{e2.Bernoulli, {}}, rerr
+		}
+		e1, rerr := cycleRateCtx(ctx, c1, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk))
+		return []stats.Bernoulli{e2.Bernoulli, e1.Bernoulli}, rerr
+	}).Run(ctx)
+	if out == nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "F4/F7",
+		Title:  "Near-neighbor cycles: measured level-1 logical error rates",
+		Header: []string{"g", "2D measured", "2D/g²", "1D measured", "1D/g", "1D/g²"},
+	}
+	for _, pr := range out.Done {
+		if pr.Partial {
+			continue
+		}
+		g := gs[pr.Index]
+		e2, e1 := pr.Ests[0], pr.Ests[1]
+		t.AddRow(g, e2.Rate(), e2.Rate()/(g*g), e1.Rate(), e1.Rate()/g, e1.Rate()/(g*g))
+	}
+	t.AddNote("2D scales quadratically (strict single-fault tolerance, verified exhaustively)")
+	t.AddNote("1D keeps a linear component from data-data crossing swaps — the channel §3.2's accounting misses")
+	noteAdaptive(t, out, o)
+	markSweepTable(t, out, spec, err)
+	return t, err
+}
+
+// AdderModuleCtx is AdderModule on the resilient sweep runtime; each point
+// estimates the bare and the level-1 fault-tolerant adder back to back.
+func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+	logical, l := adder.New(n)
+	m := core.CompileModule(logical, 1)
+	// Fixed representative operands.
+	var in uint64
+	a, b := uint64(0b1011)&((1<<uint(n))-1), uint64(0b0110)&((1<<uint(n))-1)
+	for i := 0; i < n; i++ {
+		in |= (a >> uint(i) & 1) << uint(l.A[i])
+		in |= (b >> uint(i) & 1) << uint(l.B[i])
+	}
+	spec := sweepSpec("adder", gs, len(gs), p, o, fmt.Sprintf("bits=%d", n))
+	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		nm := noise.Uniform(gs[pt])
+		sb := sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk)
+		sf := sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk)
+		var bare, ft sim.Result
+		var rerr error
+		if p.useLanes() {
+			bare, rerr = core.UnprotectedErrorRateLanesCtx(ctx, logical, in, nm, trials, p.Workers, sb)
+		} else {
+			bare, rerr = core.UnprotectedErrorRateCtx(ctx, logical, in, nm, trials, p.Workers, sb)
+		}
+		if rerr != nil {
+			return []stats.Bernoulli{bare.Bernoulli, {}}, rerr
+		}
+		if p.useLanes() {
+			ft, rerr = m.ErrorRateLanesCtx(ctx, in, nm, trials, p.Workers, sf)
+		} else {
+			ft, rerr = m.ErrorRateCtx(ctx, in, nm, trials, p.Workers, sf)
+		}
+		return []stats.Bernoulli{bare.Bernoulli, ft.Bernoulli}, rerr
+	}).Run(ctx)
+	if out == nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "B1",
+		Title:  fmt.Sprintf("%d-bit reversible adder module: bare vs level-1 FT", n),
+		Header: []string{"g", "bare measured", "1−(1−g)^T", "FT level-1 measured", "FT wins"},
+	}
+	T := float64(logical.GateCount())
+	for _, pr := range out.Done {
+		if pr.Partial {
+			continue
+		}
+		g := gs[pr.Index]
+		bare, ft := pr.Ests[0], pr.Ests[1]
+		t.AddRow(g, bare.Rate(), threshold.UnprotectedModuleError(g, T), ft.Rate(), ft.Rate() < bare.Rate())
+	}
+	t.AddNote("T = %d logical gates; FT module has %d physical ops on %d wires",
+		logical.GateCount(), m.Physical.GateCount(), m.Physical.Width())
+	noteAdaptive(t, out, o)
+	markSweepTable(t, out, spec, err)
+	return t, err
+}

@@ -1,0 +1,189 @@
+package sim
+
+// Context-aware Monte Carlo engines: the cancellable, panic-isolating
+// counterparts of MonteCarlo and MonteCarloLanes. Long sweeps near
+// threshold run minutes to hours, so these variants let a deadline or
+// SIGINT stop a run between trial batches and still hand back the partial
+// estimate accumulated so far, and they convert a panicking trial into a
+// typed, reproducible error instead of crashing the process.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"math/bits"
+
+	"revft/internal/rng"
+	"revft/internal/stats"
+)
+
+// Result is the outcome of a context-aware Monte Carlo run: the Bernoulli
+// estimate over the trials that actually completed, plus whether the run
+// fell short of its requested budget.
+type Result struct {
+	stats.Bernoulli
+	// Partial is true when fewer than the requested trials completed,
+	// because the context was cancelled or a worker trial panicked.
+	// A partial estimate is still unbiased over the trials it counts.
+	Partial bool
+}
+
+// TrialPanicError reports a panic recovered inside a Monte Carlo trial.
+// Worker and Seed identify the RNG stream that produced the failing trial,
+// so the panic is reproducible: worker w's stream is the (w+1)-th Jump of
+// rng.New(Seed), and the worker runs its trials sequentially on it.
+type TrialPanicError struct {
+	Worker int    // index of the worker whose trial panicked
+	Seed   uint64 // harness seed the worker streams derive from
+	Value  any    // the recovered panic value
+	Stack  []byte // stack trace captured at recovery
+}
+
+func (e *TrialPanicError) Error() string {
+	return fmt.Sprintf("sim: trial panic in worker %d (seed %d, stream = jump %d): %v",
+		e.Worker, e.Seed, e.Worker+1, e.Value)
+}
+
+// ctxCheckInterval is how many scalar trials run between context checks.
+// Trials are microseconds, so this keeps cancellation latency well under
+// a millisecond while making the per-trial overhead unmeasurable.
+const ctxCheckInterval = 256
+
+// MonteCarloCtx is MonteCarlo under a context: workers check ctx between
+// trial batches and stop early when it is cancelled. A run that completes
+// all trials is bit-identical to MonteCarlo for the same (seed, workers).
+// On cancellation it returns the partial estimate with Result.Partial set
+// and the context's error. A panic inside trial is recovered into a
+// *TrialPanicError (cancelling the remaining workers) rather than
+// crashing the process; the counts accumulated before the panic are
+// returned alongside it.
+func MonteCarloCtx(ctx context.Context, trials, workers int, seed uint64, trial func(r *rng.RNG) bool) (Result, error) {
+	return monteCarloCtx(ctx, trials, workers, 1, seed,
+		func(r *rng.RNG, n int, stop func() bool, hits, done *int) {
+			for i := 0; i < n; {
+				if stop() {
+					return
+				}
+				chunk := n - i
+				if chunk > ctxCheckInterval {
+					chunk = ctxCheckInterval
+				}
+				h := 0
+				for end := i + chunk; i < end; i++ {
+					if trial(r) {
+						h++
+					}
+				}
+				*hits += h
+				*done += chunk
+			}
+		})
+}
+
+// MonteCarloLanesCtx is MonteCarloLanes under a context, with the same
+// cancellation, partial-result, and panic-isolation semantics as
+// MonteCarloCtx. The context is checked between 64-lane batches.
+func MonteCarloLanesCtx(ctx context.Context, trials, workers int, seed uint64, batch BatchTrial) (Result, error) {
+	return monteCarloCtx(ctx, trials, workers, 64, seed,
+		func(r *rng.RNG, n int, stop func() bool, hits, done *int) {
+			for remaining := n; remaining > 0; {
+				if stop() {
+					return
+				}
+				m := batch(r)
+				c := 64
+				if remaining < 64 {
+					m &= 1<<uint(remaining) - 1
+					c = remaining
+				}
+				remaining -= c
+				*hits += bits.OnesCount64(m)
+				*done += c
+			}
+		})
+}
+
+// monteCarloCtx is the shared harness core. unit is the trial granularity
+// of one body iteration (1 for scalar, 64 for lanes) and bounds the worker
+// count so no worker gets an empty share. body runs n trials on stream r,
+// polling stop between batches and accumulating through hits/done so
+// progress survives a panic.
+func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
+	body func(r *rng.RNG, n int, stop func() bool, hits, done *int)) (Result, error) {
+	if trials <= 0 {
+		return Result{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if shares := (trials + unit - 1) / unit; workers > shares {
+		workers = shares
+	}
+
+	master := rng.New(seed)
+	streams := make([]*rng.RNG, workers)
+	for i := range streams {
+		streams[i] = master.Jump()
+	}
+
+	// Each worker accumulates locally and publishes exactly once at exit
+	// with a single atomic add, so no two workers ever store to the same
+	// cache line while trials are running. (An earlier version gave each
+	// worker an int slot in a shared counts slice; adjacent slots share a
+	// 64-byte line, so the final stores — and any future per-batch
+	// publishing — would false-share.)
+	var hitsTotal, doneTotal atomic.Int64
+
+	// A worker panic cancels the shared context so the other workers
+	// drain at their next check instead of burning the rest of the
+	// budget; only the first panic is reported.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var panicMu sync.Mutex
+	var panicErr *TrialPanicError
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Spread the remainder so every trial runs exactly once.
+		n := trials / workers
+		if w < trials%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			var hits, done int
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = &TrialPanicError{Worker: w, Seed: seed, Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+					cancel()
+				}
+				hitsTotal.Add(int64(hits))
+				doneTotal.Add(int64(done))
+				wg.Done()
+			}()
+			body(streams[w], n, func() bool { return cctx.Err() != nil }, &hits, &done)
+		}(w, n)
+	}
+	wg.Wait()
+
+	res := Result{Bernoulli: stats.Bernoulli{
+		Trials:    int(doneTotal.Load()),
+		Successes: int(hitsTotal.Load()),
+	}}
+	res.Partial = res.Trials < trials
+	if panicErr != nil {
+		return res, panicErr
+	}
+	if err := ctx.Err(); err != nil && res.Partial {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+
+	"revft/internal/rng"
+)
+
+// cheapTrial is a realistic-cost trial: a few RNG draws and a branch.
+func cheapTrial(r *rng.RNG) bool {
+	return r.Uint64()&0xff == 0
+}
+
+func cheapBatch(r *rng.RNG) uint64 {
+	return r.Uint64() & r.Uint64() & r.Uint64()
+}
+
+// TestCtxEnginesMatchLegacy: a completed context run is bit-identical to
+// the legacy engines for the same (trials, workers, seed).
+func TestCtxEnginesMatchLegacy(t *testing.T) {
+	const trials = 30000
+	for _, w := range []int{1, 3, 8} {
+		legacy := MonteCarlo(trials, w, 42, cheapTrial)
+		res, err := MonteCarloCtx(context.Background(), trials, w, 42, cheapTrial)
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", w, err)
+		}
+		if res.Partial {
+			t.Errorf("workers=%d: completed run marked partial", w)
+		}
+		if res.Bernoulli != legacy {
+			t.Errorf("workers=%d: ctx %v != legacy %v", w, res.Bernoulli, legacy)
+		}
+
+		legacyL := MonteCarloLanes(trials, w, 42, cheapBatch)
+		resL, err := MonteCarloLanesCtx(context.Background(), trials, w, 42, cheapBatch)
+		if err != nil {
+			t.Fatalf("lanes workers=%d: unexpected error %v", w, err)
+		}
+		if resL.Bernoulli != legacyL {
+			t.Errorf("lanes workers=%d: ctx %v != legacy %v", w, resL.Bernoulli, legacyL)
+		}
+	}
+}
+
+// TestMonteCarloCtxCancel: cancelling mid-run returns promptly with the
+// partial counts accumulated so far and the context's error.
+func TestMonteCarloCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	// A huge budget that cannot complete before the cancel lands.
+	const trials = 1 << 40
+	go func() {
+		<-started
+		cancel()
+	}()
+	begin := time.Now()
+	res, err := MonteCarloCtx(ctx, trials, 4, 7, func(r *rng.RNG) bool {
+		once.Do(func() { close(started) })
+		return cheapTrial(r)
+	})
+	if elapsed := time.Since(begin); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !res.Partial {
+		t.Error("cancelled run not marked partial")
+	}
+	if res.Trials <= 0 || res.Trials >= trials {
+		t.Errorf("partial trials = %d, want in (0, %d)", res.Trials, trials)
+	}
+	if res.Successes > res.Trials {
+		t.Errorf("successes %d > trials %d", res.Successes, res.Trials)
+	}
+}
+
+// TestMonteCarloCtxPreCancelled: a context that is already cancelled runs
+// no trials.
+func TestMonteCarloCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MonteCarloCtx(ctx, 100000, 4, 1, cheapTrial)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !res.Partial {
+		t.Error("pre-cancelled run not marked partial")
+	}
+	// Workers check before every batch, so at most a few stale batches
+	// could slip in; with cancellation before the call, none should.
+	if res.Trials != 0 {
+		t.Errorf("pre-cancelled run completed %d trials, want 0", res.Trials)
+	}
+}
+
+// TestMonteCarloLanesCtxDeadline: a deadline cancels the lanes engine
+// between batches.
+func TestMonteCarloLanesCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	const trials = 1 << 40
+	res, err := MonteCarloLanesCtx(ctx, trials, 2, 3, func(r *rng.RNG) uint64 {
+		time.Sleep(100 * time.Microsecond)
+		return cheapBatch(r)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !res.Partial || res.Trials >= trials {
+		t.Errorf("deadline run: partial=%v trials=%d", res.Partial, res.Trials)
+	}
+	if res.Trials%64 != 0 {
+		// Both workers stop on whole batches (their shares exceed 64).
+		t.Errorf("partial lane trials %d not a multiple of 64", res.Trials)
+	}
+}
+
+// panicValue is the trigger predicate used by the panic tests: panic on
+// RNG words whose low 12 bits are zero (about 1 in 4096 trials).
+func panicValue(v uint64) bool { return v&0xfff == 0 }
+
+// TestTrialPanicError: a panicking trial surfaces as *TrialPanicError with
+// the worker index and seed that reproduce it, and partial counts survive.
+func TestTrialPanicError(t *testing.T) {
+	const seed = 11
+	trial := func(r *rng.RNG) bool {
+		v := r.Uint64()
+		if panicValue(v) {
+			panic("injected fault")
+		}
+		return v&1 == 0
+	}
+	_, err := MonteCarloCtx(context.Background(), 100000, 1, seed, trial)
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *TrialPanicError", err, err)
+	}
+	if pe.Worker != 0 {
+		t.Errorf("Worker = %d, want 0 (single-worker run)", pe.Worker)
+	}
+	if pe.Seed != seed {
+		t.Errorf("Seed = %d, want %d", pe.Seed, seed)
+	}
+	if pe.Value != "injected fault" {
+		t.Errorf("Value = %v, want the panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("Stack is empty")
+	}
+
+	// Reproducibility: replay worker pe.Worker's stream — the (Worker+1)-th
+	// jump of rng.New(Seed) — and confirm the trigger occurs, at the same
+	// position on every replay.
+	replay := func() int {
+		master := rng.New(pe.Seed)
+		var stream *rng.RNG
+		for i := 0; i <= pe.Worker; i++ {
+			stream = master.Jump()
+		}
+		for i := 0; i < 100000; i++ {
+			if panicValue(stream.Uint64()) {
+				return i
+			}
+		}
+		return -1
+	}
+	first, second := replay(), replay()
+	if first < 0 || first != second {
+		t.Errorf("panic trigger not reproducible from (seed, worker): got positions %d, %d", first, second)
+	}
+}
+
+// TestTrialPanicNoDeadlock: every worker panicking immediately must not
+// deadlock or crash; exactly one panic is reported and its worker index is
+// in range.
+func TestTrialPanicNoDeadlock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := MonteCarloCtx(context.Background(), 1<<20, 8, 5, func(r *rng.RNG) bool {
+			panic("boom")
+		})
+		var pe *TrialPanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("err = %v, want *TrialPanicError", err)
+			return
+		}
+		if pe.Worker < 0 || pe.Worker >= 8 {
+			t.Errorf("Worker = %d out of range", pe.Worker)
+		}
+		if !res.Partial {
+			t.Error("panicked run not marked partial")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatal("deadlock: MonteCarloCtx did not return")
+	}
+}
+
+// TestLanesTrialPanicError: panic isolation works on the lanes engine too.
+func TestLanesTrialPanicError(t *testing.T) {
+	_, err := MonteCarloLanesCtx(context.Background(), 1<<20, 3, 9, func(r *rng.RNG) uint64 {
+		v := r.Uint64()
+		if panicValue(v) {
+			panic(v)
+		}
+		return v
+	})
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *TrialPanicError", err)
+	}
+	if pe.Worker < 0 || pe.Worker >= 3 || pe.Seed != 9 {
+		t.Errorf("bad provenance: worker=%d seed=%d", pe.Worker, pe.Seed)
+	}
+}
+
+// TestLegacyEnginePanicPropagates: the non-ctx wrappers re-raise a trial
+// panic as a *TrialPanicError so callers that cannot handle errors still
+// crash loudly with provenance attached.
+func TestLegacyEnginePanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if _, ok := r.(*TrialPanicError); !ok {
+			t.Errorf("recovered %v (%T), want *TrialPanicError", r, r)
+		}
+	}()
+	MonteCarlo(1000, 1, 1, func(r *rng.RNG) bool { panic("boom") })
+}
+
+// TestCtxPartialMaskTruncation: sanity-check the lanes tail-batch mask
+// under ctx: a full run counts every trial exactly once.
+func TestCtxPartialMaskTruncation(t *testing.T) {
+	// 100 trials = one full batch + a 36-lane tail on one worker.
+	res, err := MonteCarloLanesCtx(context.Background(), 100, 1, 2, func(r *rng.RNG) uint64 {
+		return ^uint64(0) // every lane fails
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 100 || res.Successes != 100 {
+		t.Errorf("got %d/%d, want 100/100", res.Successes, res.Trials)
+	}
+	if bits.OnesCount64(1<<36-1) != 36 {
+		t.Fatal("mask arithmetic broken")
+	}
+}

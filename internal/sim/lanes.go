@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"math/bits"
-	"runtime"
-	"sync"
+	"context"
 
 	"revft/internal/rng"
 	"revft/internal/stats"
@@ -21,57 +19,14 @@ type BatchTrial func(r *rng.RNG) uint64
 // so results are reproducible for a fixed (seed, workers) pair. The final
 // batch of each worker may cover fewer than 64 trials; its excess lanes
 // are simulated but not counted, so every counted trial runs exactly once.
-// workers <= 0 selects GOMAXPROCS.
+// workers <= 0 selects GOMAXPROCS. A panic inside batch propagates as a
+// *TrialPanicError; use MonteCarloLanesCtx to handle it as an error.
 func MonteCarloLanes(trials, workers int, seed uint64, batch BatchTrial) stats.Bernoulli {
-	if trials <= 0 {
-		return stats.Bernoulli{}
+	res, err := MonteCarloLanesCtx(context.Background(), trials, workers, seed, batch)
+	if err != nil {
+		// The context never cancels, so the only possible error is a
+		// recovered trial panic. Re-raise it with its diagnostics.
+		panic(err)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Never hand a worker an empty share: cap at one worker per 64-lane
-	// batch (the unit of work), like MonteCarlo caps at one per trial.
-	if batches := (trials + 63) / 64; workers > batches {
-		workers = batches
-	}
-
-	master := rng.New(seed)
-	streams := make([]*rng.RNG, workers)
-	for i := range streams {
-		streams[i] = master.Jump()
-	}
-
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Spread the remainder so every trial runs exactly once.
-		n := trials / workers
-		if w < trials%workers {
-			n++
-		}
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			r := streams[w]
-			hits := 0
-			for remaining := n; remaining > 0; {
-				m := batch(r)
-				if remaining < 64 {
-					m &= 1<<uint(remaining) - 1
-					remaining = 0
-				} else {
-					remaining -= 64
-				}
-				hits += bits.OnesCount64(m)
-			}
-			counts[w] = hits
-		}(w, n)
-	}
-	wg.Wait()
-
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return stats.Bernoulli{Trials: trials, Successes: total}
+	return res.Bernoulli
 }

@@ -8,11 +8,15 @@
 //   - MonteCarlo: a parallel trial harness with per-worker RNG streams;
 //   - MonteCarloLanes: the same harness for 64-lane bit-sliced batch trials
 //     (see package lanes), for runs where trial count dominates.
+//
+// MonteCarloCtx and MonteCarloLanesCtx are the context-aware variants for
+// long-running sweeps: cancellable between trial batches, returning the
+// partial estimate accumulated so far, and recovering trial panics into
+// typed, reproducible *TrialPanicError values.
 package sim
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"revft/internal/bitvec"
 	"revft/internal/circuit"
@@ -93,50 +97,15 @@ func ForEachSingleFault(c *circuit.Circuit, fn func(opIdx int, value uint64)) {
 // MonteCarlo runs trials independent executions of trial across workers
 // goroutines and aggregates how many returned true. Each worker receives its
 // own jumped RNG stream derived from seed, so results are reproducible for a
-// fixed (seed, workers) pair. workers <= 0 selects GOMAXPROCS.
+// fixed (seed, workers) pair. workers <= 0 selects GOMAXPROCS. A panic
+// inside trial propagates as a *TrialPanicError; use MonteCarloCtx to
+// handle it as an error instead.
 func MonteCarlo(trials, workers int, seed uint64, trial func(r *rng.RNG) bool) stats.Bernoulli {
-	if trials <= 0 {
-		return stats.Bernoulli{}
+	res, err := MonteCarloCtx(context.Background(), trials, workers, seed, trial)
+	if err != nil {
+		// The context never cancels, so the only possible error is a
+		// recovered trial panic. Re-raise it with its diagnostics.
+		panic(err)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-
-	master := rng.New(seed)
-	streams := make([]*rng.RNG, workers)
-	for i := range streams {
-		streams[i] = master.Jump()
-	}
-
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Spread the remainder so every trial runs exactly once.
-		n := trials / workers
-		if w < trials%workers {
-			n++
-		}
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			r := streams[w]
-			hits := 0
-			for i := 0; i < n; i++ {
-				if trial(r) {
-					hits++
-				}
-			}
-			counts[w] = hits
-		}(w, n)
-	}
-	wg.Wait()
-
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return stats.Bernoulli{Trials: trials, Successes: total}
+	return res.Bernoulli
 }

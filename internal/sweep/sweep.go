@@ -1,0 +1,350 @@
+// Package sweep is the resilient runtime for long Monte Carlo parameter
+// sweeps: it drives a table sweep point by point under a context, writes
+// an atomic JSON checkpoint after every completed point, resumes mid-sweep
+// from a checkpoint whose spec digest matches, and optionally stops each
+// point early once its estimates are statistically tight enough.
+//
+// The contract that makes resume trustworthy is all-or-nothing points:
+// only fully completed points enter the checkpoint, and an interrupted
+// point re-runs from scratch with its original seed. For a fixed
+// (seed, workers, engine) spec, an interrupted-and-resumed sweep is
+// therefore bit-identical to an uninterrupted one.
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"revft/internal/stats"
+)
+
+// StopRule configures adaptive early stopping per sweep point. The rule
+// fires once every estimate of the point has a 95% Wilson half-width at
+// most RelTol times its rate, after at least MinTrials and at most
+// MaxTrials trials per estimate.
+type StopRule struct {
+	// RelTol is the target relative half-width; 0 disables early
+	// stopping (the point runs exactly Spec.Trials trials).
+	RelTol float64 `json:"reltol"`
+	// MinTrials is the floor before the rule may fire; <= 0 selects
+	// min(1000, ceiling). It is also the size of the first chunk.
+	MinTrials int `json:"min_trials"`
+	// MaxTrials is the ceiling; <= 0 selects Spec.Trials.
+	MaxTrials int `json:"max_trials"`
+}
+
+// Enabled reports whether adaptive early stopping is on.
+func (s StopRule) Enabled() bool { return s.RelTol > 0 }
+
+// Converged reports whether every estimate satisfies the relative
+// tolerance. An estimate with zero successes never converges — its
+// relative width is unbounded — so all-zero points run to the ceiling.
+func (s StopRule) Converged(ests []stats.Bernoulli) bool {
+	if len(ests) == 0 {
+		return false
+	}
+	for _, e := range ests {
+		if e.Successes == 0 {
+			return false
+		}
+		lo, hi := e.Wilson(1.96)
+		if (hi-lo)/2 > s.RelTol*e.Rate() {
+			return false
+		}
+	}
+	return true
+}
+
+// Spec identifies a sweep for checkpoint compatibility. Every field feeds
+// the digest: two runs may share a checkpoint only if the experiment, the
+// grid, the trial budget, the seeding, the engine, and the stop rule all
+// agree.
+type Spec struct {
+	Experiment string    `json:"experiment"`
+	Grid       []float64 `json:"grid,omitempty"` // the swept parameter values
+	Points     int       `json:"points"`         // sweep points (may exceed len(Grid), e.g. levels × grid)
+	Trials     int       `json:"trials"`
+	Workers    int       `json:"workers"`
+	Seed       uint64    `json:"seed"`
+	Engine     string    `json:"engine"`
+	Extra      string    `json:"extra,omitempty"` // driver-specific parameters, e.g. "maxlevel=2"
+	Stop       StopRule  `json:"stop"`
+}
+
+// Digest returns the hex SHA-256 of the spec's canonical JSON encoding.
+// Checkpoints store it; Resume rejects a checkpoint whose digest differs.
+func (s Spec) Digest() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec contains only scalars and a float slice; Marshal cannot
+		// fail on it.
+		panic(fmt.Sprintf("sweep: spec digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// PointResult is the outcome of one sweep point.
+type PointResult struct {
+	Index int `json:"index"`
+	// Ests are the point's estimates (some experiments measure several
+	// quantities per point); each carries its own trial count.
+	Ests []stats.Bernoulli `json:"ests"`
+	// Partial marks a point interrupted mid-estimate. Partial points are
+	// reported for display but never checkpointed.
+	Partial bool `json:"partial,omitempty"`
+	// Stopped marks a point ended early by the StopRule.
+	Stopped bool `json:"stopped,omitempty"`
+}
+
+// Checkpoint is the on-disk resume state: the spec (and its digest) plus
+// every fully completed point.
+type Checkpoint struct {
+	Digest  string        `json:"digest"`
+	Spec    Spec          `json:"spec"`
+	Done    []PointResult `json:"done"`
+	SavedAt time.Time     `json:"saved_at"`
+}
+
+// Save writes the checkpoint atomically: marshal to a temp file in the
+// destination directory, fsync, then rename over path. A crash mid-write
+// leaves the previous checkpoint intact.
+func (c *Checkpoint) Save(path string) error {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(append(b, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: write checkpoint %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Load reads a checkpoint and verifies its internal digest matches its
+// embedded spec, rejecting files corrupted or hand-edited out of sync.
+func Load(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", path, err)
+	}
+	if got := c.Spec.Digest(); got != c.Digest {
+		return nil, fmt.Errorf("sweep: checkpoint %s is internally inconsistent (spec digest %.12s, recorded %.12s)",
+			path, got, c.Digest)
+	}
+	return &c, nil
+}
+
+// ChunkSeed derives the RNG seed for chunk c of an estimate whose base
+// seed is base. Chunk 0 is base itself, so a single-chunk (fixed-trials)
+// run consumes exactly the randomness the plain engines would; later
+// chunks are salted with multiples of the golden-ratio increment, the
+// same constant SplitMix64 seeding uses, so their generator states are
+// well separated from neighbouring points' small seed offsets.
+func ChunkSeed(base uint64, chunk int) uint64 {
+	return base + uint64(chunk)*0x9e3779b97f4a7c15
+}
+
+// PointFunc computes the estimates for sweep point pt, running trials
+// trials as chunk number chunk. Implementations must salt their seeds
+// with ChunkSeed(base, chunk) so chunk 0 with the full budget reproduces
+// the fixed-trial run bit-for-bit, and must return whatever partial
+// estimates they accumulated alongside a cancellation error.
+type PointFunc func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error)
+
+// Runner drives one sweep.
+type Runner struct {
+	Spec Spec
+	// Point computes one point (or one chunk of one, under a StopRule).
+	Point PointFunc
+	// CheckpointPath enables checkpointing when non-empty: the file is
+	// rewritten atomically after every completed point and once more
+	// when the sweep ends or is interrupted.
+	CheckpointPath string
+	// Resume loads CheckpointPath before running and skips its completed
+	// points. The checkpoint's digest must match Spec's.
+	Resume bool
+	// Progress, when non-nil, receives one human-readable line per point.
+	Progress io.Writer
+}
+
+// Outcome is what a sweep produced: completed points in index order,
+// possibly followed by one trailing partial point if the run was
+// interrupted mid-point.
+type Outcome struct {
+	Done     []PointResult
+	Complete bool
+	Resumed  int // points loaded from the checkpoint instead of computed
+}
+
+// Run executes the sweep under ctx. On cancellation (or a trial panic) it
+// flushes a final checkpoint of the completed points and returns the
+// partial Outcome together with the error, so callers can render what
+// exists and exit cleanly.
+func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
+	digest := r.Spec.Digest()
+	resumed := make(map[int]PointResult)
+	if r.Resume {
+		if r.CheckpointPath == "" {
+			return nil, errors.New("sweep: resume requested without a checkpoint path")
+		}
+		ck, err := Load(r.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if ck.Digest != digest {
+			return nil, fmt.Errorf("sweep: checkpoint %s belongs to a different sweep (digest %.12s, this spec %.12s); refusing to mix results",
+				r.CheckpointPath, ck.Digest, digest)
+		}
+		for _, p := range ck.Done {
+			if !p.Partial && p.Index >= 0 && p.Index < r.Spec.Points {
+				resumed[p.Index] = p
+			}
+		}
+	}
+
+	out := &Outcome{}
+	save := func() error {
+		if r.CheckpointPath == "" {
+			return nil
+		}
+		ck := &Checkpoint{Digest: digest, Spec: r.Spec, SavedAt: time.Now().UTC()}
+		for _, p := range out.Done {
+			if !p.Partial {
+				ck.Done = append(ck.Done, p)
+			}
+		}
+		return ck.Save(r.CheckpointPath)
+	}
+
+	for pt := 0; pt < r.Spec.Points; pt++ {
+		if p, ok := resumed[pt]; ok {
+			out.Done = append(out.Done, p)
+			out.Resumed++
+			r.progressf("point %d/%d: resumed from checkpoint", pt+1, r.Spec.Points)
+			continue
+		}
+		p, err := r.runPoint(ctx, pt)
+		if len(p.Ests) > 0 || err == nil {
+			out.Done = append(out.Done, p)
+		}
+		if err != nil {
+			r.progressf("point %d/%d: interrupted (%v)", pt+1, r.Spec.Points, err)
+			if serr := save(); serr != nil {
+				err = errors.Join(err, serr)
+			}
+			return out, err
+		}
+		r.progressf("point %d/%d: done%s", pt+1, r.Spec.Points, stoppedNote(p))
+		if serr := save(); serr != nil {
+			return out, serr
+		}
+	}
+	out.Complete = true
+	return out, nil
+}
+
+func stoppedNote(p PointResult) string {
+	if !p.Stopped || len(p.Ests) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (early stop at %d trials)", p.Ests[0].Trials)
+}
+
+// runPoint computes one point, in a single call when early stopping is
+// off and in geometrically growing chunks when it is on.
+func (r *Runner) runPoint(ctx context.Context, pt int) (PointResult, error) {
+	p := PointResult{Index: pt}
+	rule := r.Spec.Stop
+	if !rule.Enabled() {
+		ests, err := r.Point(ctx, pt, 0, r.Spec.Trials)
+		p.Ests = ests
+		p.Partial = err != nil
+		return p, err
+	}
+
+	ceiling := rule.MaxTrials
+	if ceiling <= 0 {
+		ceiling = r.Spec.Trials
+	}
+	floor := rule.MinTrials
+	if floor <= 0 {
+		floor = 1000
+	}
+	if floor > ceiling {
+		floor = ceiling
+	}
+	chunkSize := floor
+	for chunk, ran := 0, 0; ran < ceiling; chunk++ {
+		n := chunkSize
+		if n > ceiling-ran {
+			n = ceiling - ran
+		}
+		ests, err := r.Point(ctx, pt, chunk, n)
+		if merged, merr := mergeEsts(p.Ests, ests); merr != nil {
+			return p, merr
+		} else {
+			p.Ests = merged
+		}
+		if err != nil {
+			p.Partial = true
+			return p, err
+		}
+		ran += n
+		if ran >= floor && ran < ceiling && rule.Converged(p.Ests) {
+			p.Stopped = true
+			break
+		}
+		chunkSize *= 2
+	}
+	return p, nil
+}
+
+// mergeEsts pools chunk estimates element-wise.
+func mergeEsts(acc, ests []stats.Bernoulli) ([]stats.Bernoulli, error) {
+	if acc == nil {
+		return ests, nil
+	}
+	if len(ests) != len(acc) {
+		return acc, fmt.Errorf("sweep: point returned %d estimates, previous chunks returned %d", len(ests), len(acc))
+	}
+	for i := range acc {
+		acc[i].Add(ests[i].Successes, ests[i].Trials)
+	}
+	return acc, nil
+}
+
+func (r *Runner) progressf(format string, args ...any) {
+	if r.Progress == nil {
+		return
+	}
+	fmt.Fprintf(r.Progress, "sweep %s: %s\n", r.Spec.Experiment, fmt.Sprintf(format, args...))
+}

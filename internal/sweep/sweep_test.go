@@ -1,0 +1,299 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"revft/internal/rng"
+	"revft/internal/stats"
+)
+
+// fakePoint is a deterministic PointFunc: estimates derived purely from
+// (spec seed, pt, chunk, trials) through the real RNG, so interrupted and
+// uninterrupted sweeps are comparable bit-for-bit, exactly like the real
+// Monte Carlo engines under a fixed (seed, workers).
+func fakePoint(seed uint64) PointFunc {
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r := rng.New(ChunkSeed(seed+uint64(pt), chunk))
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bool(0.1) {
+				hits++
+			}
+		}
+		return []stats.Bernoulli{{Trials: trials, Successes: hits}}, nil
+	}
+}
+
+func testSpec(points int) Spec {
+	return Spec{
+		Experiment: "fake",
+		Grid:       []float64{1e-3, 2e-3, 4e-3, 8e-3, 1.6e-2}[:points],
+		Points:     points,
+		Trials:     5000,
+		Workers:    2,
+		Seed:       42,
+		Engine:     "scalar",
+	}
+}
+
+func TestRunCompleteWritesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	r := &Runner{Spec: testSpec(3), Point: fakePoint(42), CheckpointPath: ck}
+	out, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete || len(out.Done) != 3 {
+		t.Fatalf("outcome = %+v, want 3 complete points", out)
+	}
+	loaded, err := Load(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest != r.Spec.Digest() {
+		t.Error("checkpoint digest does not match spec")
+	}
+	if len(loaded.Done) != 3 {
+		t.Errorf("checkpoint holds %d points, want 3", len(loaded.Done))
+	}
+	// Atomic write: no temp files left behind.
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestInterruptResumeBitIdentical is the core resilience contract: cancel
+// a sweep mid-run, resume it from the checkpoint, and the pooled results
+// must equal an uninterrupted sweep exactly.
+func TestInterruptResumeBitIdentical(t *testing.T) {
+	spec := testSpec(5)
+	ck := filepath.Join(t.TempDir(), "ck.json")
+
+	// Uninterrupted reference.
+	ref, err := (&Runner{Spec: spec, Point: fakePoint(42)}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel while point 2 (index 2) is executing.
+	ctx, cancel := context.WithCancel(context.Background())
+	point := fakePoint(42)
+	interrupting := func(c context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		if pt == 2 {
+			cancel()
+		}
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
+		return point(c, pt, chunk, trials)
+	}
+	out, err := (&Runner{Spec: spec, Point: interrupting, CheckpointPath: ck}).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if out.Complete || len(out.Done) != 2 {
+		t.Fatalf("interrupted run completed %d points, want 2", len(out.Done))
+	}
+
+	// Resume and compare.
+	res, err := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: ck, Resume: true}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Resumed != 2 {
+		t.Fatalf("resumed run: complete=%v resumed=%d, want true/2", res.Complete, res.Resumed)
+	}
+	if !reflect.DeepEqual(res.Done, ref.Done) {
+		t.Errorf("resumed results differ from uninterrupted run:\nresumed: %+v\nref:     %+v", res.Done, ref.Done)
+	}
+}
+
+func TestResumeRejectsDigestMismatch(t *testing.T) {
+	spec := testSpec(3)
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if _, err := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: ck}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	changed := spec
+	changed.Seed = 43
+	_, err := (&Runner{Spec: changed, Point: fakePoint(43), CheckpointPath: ck, Resume: true}).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("resume with changed seed: err = %v, want digest mismatch", err)
+	}
+}
+
+func TestLoadRejectsCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted corrupt JSON")
+	}
+
+	// A well-formed checkpoint whose recorded digest was tampered with.
+	spec := testSpec(2)
+	good := &Checkpoint{Digest: spec.Digest(), Spec: spec}
+	if err := good.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(b), spec.Digest()[:8], "deadbeef", 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("Load on tampered digest: err = %v, want inconsistency error", err)
+	}
+}
+
+func TestResumeWithoutPathFails(t *testing.T) {
+	r := &Runner{Spec: testSpec(2), Point: fakePoint(42), Resume: true}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Error("Resume without CheckpointPath did not fail")
+	}
+}
+
+func TestDigestCoversEveryKnob(t *testing.T) {
+	base := testSpec(3)
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Experiment = "other" },
+		func(s *Spec) { s.Grid[0] *= 2 },
+		func(s *Spec) { s.Points++ },
+		func(s *Spec) { s.Trials++ },
+		func(s *Spec) { s.Workers++ },
+		func(s *Spec) { s.Seed++ },
+		func(s *Spec) { s.Engine = "lanes" },
+		func(s *Spec) { s.Extra = "maxlevel=2" },
+		func(s *Spec) { s.Stop.RelTol = 0.1 },
+	}
+	for i, mut := range mutations {
+		s := base
+		s.Grid = append([]float64(nil), base.Grid...)
+		mut(&s)
+		if s.Digest() == base.Digest() {
+			t.Errorf("mutation %d did not change the digest", i)
+		}
+	}
+}
+
+// TestAdaptiveEarlyStop: a high-rate point under a loose tolerance stops
+// before the ceiling; its pooled estimate satisfies the rule.
+func TestAdaptiveEarlyStop(t *testing.T) {
+	spec := testSpec(1)
+	spec.Trials = 1 << 20
+	spec.Stop = StopRule{RelTol: 0.2, MinTrials: 500}
+	out, err := (&Runner{Spec: spec, Point: fakePoint(42)}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Done[0]
+	if !p.Stopped {
+		t.Fatalf("point did not early-stop: %+v", p)
+	}
+	if p.Ests[0].Trials >= spec.Trials {
+		t.Errorf("early stop used the full ceiling (%d trials)", p.Ests[0].Trials)
+	}
+	if !spec.Stop.Converged(p.Ests) {
+		t.Errorf("stopped point does not satisfy the rule: %v", p.Ests[0])
+	}
+}
+
+// TestAdaptiveZeroRateRunsToCeiling: an estimate that never succeeds
+// cannot satisfy a relative tolerance, so it burns the whole ceiling.
+func TestAdaptiveZeroRateRunsToCeiling(t *testing.T) {
+	spec := testSpec(1)
+	spec.Trials = 4000
+	spec.Stop = StopRule{RelTol: 0.2, MinTrials: 500}
+	zero := func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		return []stats.Bernoulli{{Trials: trials}}, nil
+	}
+	out, err := (&Runner{Spec: spec, Point: zero}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Done[0]
+	if p.Stopped || p.Ests[0].Trials != 4000 {
+		t.Errorf("zero-rate point: stopped=%v trials=%d, want false/4000", p.Stopped, p.Ests[0].Trials)
+	}
+}
+
+// TestAdaptiveMatchesFixedWhenDisabled: StopRule zero value leaves the
+// fixed-trials path untouched, chunk 0 only.
+func TestAdaptiveMatchesFixedWhenDisabled(t *testing.T) {
+	spec := testSpec(2)
+	var chunks []int
+	spy := func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		chunks = append(chunks, chunk)
+		if trials != spec.Trials {
+			t.Errorf("fixed mode ran %d trials, want %d", trials, spec.Trials)
+		}
+		return fakePoint(42)(ctx, pt, chunk, trials)
+	}
+	if _, err := (&Runner{Spec: spec, Point: spy}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if c != 0 {
+			t.Errorf("fixed mode used chunk %d, want 0 only", c)
+		}
+	}
+}
+
+func TestChunkSeedContract(t *testing.T) {
+	if ChunkSeed(99, 0) != 99 {
+		t.Error("chunk 0 must use the base seed unchanged")
+	}
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 8; base++ {
+		for chunk := 0; chunk < 8; chunk++ {
+			s := ChunkSeed(base, chunk)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d chunk=%d", base, chunk)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestPartialPointExcludedFromCheckpoint: an interrupted point's partial
+// estimate is shown in the outcome but never persisted.
+func TestPartialPointExcludedFromCheckpoint(t *testing.T) {
+	spec := testSpec(3)
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	point := func(c context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		if pt == 1 {
+			cancel()
+			// Simulate an engine returning a partial estimate with the
+			// cancellation error.
+			return []stats.Bernoulli{{Trials: 10, Successes: 1}}, c.Err()
+		}
+		return fakePoint(42)(c, pt, chunk, trials)
+	}
+	out, err := (&Runner{Spec: spec, Point: point, CheckpointPath: ck}).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out.Done) != 2 || !out.Done[1].Partial {
+		t.Fatalf("outcome should end with the partial point: %+v", out.Done)
+	}
+	loaded, err := Load(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Done) != 1 || loaded.Done[0].Index != 0 {
+		t.Errorf("checkpoint should hold only completed point 0: %+v", loaded.Done)
+	}
+}
