@@ -6,6 +6,7 @@ package revft_test
 // reproduces the full sweep.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"revft/internal/exp"
 	"revft/internal/gate"
 	"revft/internal/lattice"
+	"revft/internal/telemetry"
 	"revft/internal/threshold"
 	"revft/internal/vonneumann"
 )
@@ -80,6 +82,34 @@ func BenchmarkLanesRecovery(b *testing.B) {
 	m := revft.UniformNoise(1e-3)
 	b.ResetTimer()
 	g.LogicalErrorRateLanes(m, b.N, 1, 1)
+}
+
+// BenchmarkLanesBare and BenchmarkLanesInstrumented bound the telemetry
+// overhead on the hottest path: the same lanes run with no registry in the
+// context versus the full instrumentation (global/per-worker/lanes trial
+// counters, sampled batch latency, per-gate-location fault tallies). The
+// budget is 2%: CI compares the two and warns when instrumented ns/op
+// exceeds bare by more than that. The design that keeps it there: harness
+// counters accumulate in worker locals and flush every 16 batches, batch
+// latency is timed 1 batch in 16, and fault counters are touched only on
+// fault events (expected ~ops·64·g per batch, ~2 adds at g = 10⁻³).
+func BenchmarkLanesBare(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	b.ResetTimer()
+	if _, err := g.LogicalErrorRateLanesCtx(context.Background(), m, b.N, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLanesInstrumented(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	ctx := telemetry.NewContext(context.Background(), telemetry.New())
+	b.ResetTimer()
+	if _, err := g.LogicalErrorRateLanesCtx(ctx, m, b.N, 1, 1); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkHarnessScaling runs the scalar engine on the recovery gadget

@@ -33,7 +33,19 @@
 //	-reltol 0.05          adaptive early stopping: per point, stop once every
 //	                      estimate's 95% Wilson half-width is at most reltol
 //	                      times its rate (floor 1000 trials, ceiling -trials)
-//	-progress             print one line per completed point to stderr
+//	-progress             sweep experiments: one line per completed point;
+//	                      other experiments: a heartbeat every 2s with
+//	                      trials done, trials/sec, and ETA
+//
+// Observability flags (all experiments):
+//
+//	-debug-addr host:port serve /metrics (plain text), /debug/vars (expvar,
+//	                      including the full registry snapshot under
+//	                      "revft"), and /debug/pprof/ while the run is live
+//	-trace run.jsonl      write a JSONL event stream: a manifest header
+//	                      line (tool, git revision, engine, seed, Go
+//	                      version, GOMAXPROCS, ...), one event per sweep
+//	                      transition, and a final metrics snapshot
 //
 // SIGINT/SIGTERM cancels the sweep cleanly: in-flight trials stop at the
 // next batch boundary, the checkpoint is flushed, and the partial table is
@@ -50,9 +62,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"revft/internal/exp"
 	"revft/internal/stats"
+	"revft/internal/telemetry"
 )
 
 func main() {
@@ -81,7 +95,9 @@ func run(args []string) error {
 		resume     = fs.Bool("resume", false, "resume from -checkpoint, skipping completed points")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the sweep experiments (0 = none)")
 		reltol     = fs.Float64("reltol", 0, "adaptive early stopping: target relative 95% CI half-width per point (0 = fixed -trials)")
-		progress   = fs.Bool("progress", false, "print per-point progress to stderr (sweep experiments)")
+		progress   = fs.Bool("progress", false, "print progress to stderr: per-point lines for sweep experiments, a trials/sec heartbeat otherwise")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this host:port while the run is live")
+		traceFile  = fs.String("trace", "", "write a JSONL event trace (manifest header, sweep events, final metrics snapshot) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,7 +122,6 @@ func run(args []string) error {
 			"-resume":     *resume,
 			"-timeout":    *timeout != 0,
 			"-reltol":     *reltol != 0,
-			"-progress":   *progress,
 		} {
 			if set {
 				return fmt.Errorf("%s only applies to the sweep experiments (recovery, levels, local, adder), not %q", name, *expName)
@@ -115,6 +130,46 @@ func run(args []string) error {
 	}
 	if *resume && *checkpoint == "" {
 		return errors.New("-resume requires -checkpoint")
+	}
+
+	// Telemetry: any observability flag builds a registry and installs it
+	// process-wide, so even the context-free engines (entropy, vonneumann,
+	// the ablations) report trial counts into it.
+	var (
+		reg *telemetry.Registry
+		man *telemetry.Manifest
+		tr  *telemetry.Trace
+	)
+	if *debugAddr != "" || *traceFile != "" || *progress {
+		reg = telemetry.New()
+		telemetry.SetDefault(reg)
+		man = telemetry.Collect("revft-mc")
+		man.Experiment = *expName
+		man.Engine = *engine
+		man.Seed = *seed
+		man.Trials = *trials
+		man.Workers = *workers
+		if n := expectedTrials(*expName, *trials, *points, *maxLevel); n > 0 {
+			reg.Gauge(telemetry.ExpectedTrialsMetric).Set(float64(n))
+		}
+	}
+	if *debugAddr != "" {
+		d, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "revft-mc: debug server on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", d.Addr)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		if tr, err = telemetry.NewTrace(f, man); err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
 	}
 
 	var t *exp.Table
@@ -131,6 +186,9 @@ func run(args []string) error {
 			Checkpoint: *checkpoint,
 			Resume:     *resume,
 			RelTol:     *reltol,
+			Metrics:    reg,
+			Trace:      tr,
+			Manifest:   man,
 		}
 		if *progress {
 			o.Progress = os.Stderr
@@ -149,6 +207,12 @@ func run(args []string) error {
 			return sweepErr
 		}
 	} else {
+		// Single-point runs get the registry-sourced heartbeat; sweep runs
+		// already print per-point lines.
+		var stopHeartbeat func()
+		if *progress {
+			stopHeartbeat = telemetry.StartHeartbeat(os.Stderr, reg, 2*time.Second)
+		}
 		switch *expName {
 		case "entropy":
 			t = exp.EntropyMeasured(gs, p)
@@ -165,7 +229,21 @@ func run(args []string) error {
 		case "idle":
 			t = exp.IdleNoise(*gmax, []float64{0, 0.1, 0.5, 1, 2}, p)
 		default:
+			if stopHeartbeat != nil {
+				stopHeartbeat()
+			}
 			return fmt.Errorf("unknown experiment %q", *expName)
+		}
+		if stopHeartbeat != nil {
+			stopHeartbeat()
+		}
+	}
+
+	if tr != nil {
+		tr.EmitSnapshot(reg)
+		tr.Emit("run_done", map[string]any{"ok": sweepErr == nil})
+		if err := tr.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "revft-mc: trace %s: %v\n", *traceFile, err)
 		}
 	}
 
@@ -181,4 +259,27 @@ func run(args []string) error {
 		return fmt.Errorf("sweep interrupted (%w); rerun with -checkpoint/-resume to make interruptions recoverable", sweepErr)
 	}
 	return nil
+}
+
+// expectedTrials returns the run's total trial budget for the heartbeat's
+// ETA — an upper bound under adaptive early stopping — or 0 for the
+// experiments whose budgets aren't a simple points × trials product.
+func expectedTrials(expName string, trials, points, maxLevel int) int {
+	switch expName {
+	case "recovery", "entropy":
+		return points * trials
+	case "levels":
+		return (maxLevel + 1) * points * trials
+	case "local", "adder":
+		// Two estimates per point, back to back.
+		return 2 * points * trials
+	case "vonneumann":
+		chainTrials := trials / 100
+		if chainTrials < 50 {
+			chainTrials = 50
+		}
+		// Six eps values, two chain depths each.
+		return 6 * 2 * chainTrials
+	}
+	return 0
 }

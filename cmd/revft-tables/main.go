@@ -5,15 +5,21 @@
 //
 // Usage:
 //
-//	revft-tables [-exp all|table1|thresholds|table2|blowup|unprotected|entropy|audit|vonneumann|exact|nand|synthesis|pairs] [-csv]
+//	revft-tables [-exp all|table1|thresholds|table2|blowup|unprotected|entropy|audit|vonneumann|exact|nand|synthesis|pairs] [-csv] [-manifest]
+//
+// -manifest prints a one-line JSON run manifest (tool, git revision, Go
+// version, platform) to stderr before the tables, so archived table output
+// can be tied to the code revision that produced it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"revft/internal/exp"
+	"revft/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +33,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("revft-tables", flag.ContinueOnError)
 	expName := fs.String("exp", "all", "experiment to regenerate")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	manifest := fs.Bool("manifest", false, "print a one-line JSON run manifest to stderr first")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *manifest {
+		b, err := json.Marshal(telemetry.Collect("revft-tables"))
+		if err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, string(b))
 	}
 
 	tables, err := selectTables(*expName)

@@ -10,6 +10,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"revft/internal/circuit"
 	"revft/internal/lanes"
@@ -17,13 +18,33 @@ import (
 	"revft/internal/rng"
 	"revft/internal/sim"
 	"revft/internal/stats"
+	"revft/internal/telemetry"
 )
+
+// lanesInstr builds the fault-injection telemetry handles for a compiled
+// circuit from the context's registry: a total fault counter and a per-
+// gate-location vector keyed by circuit.OpLabels under
+// "lanes.op_faults.<label>". A context without an active registry yields
+// nil, which lanes.RunInstr treats as no instrumentation at all.
+func lanesInstr(ctx context.Context, label string, c *circuit.Circuit) *lanes.Instr {
+	reg := telemetry.Active(ctx)
+	if reg == nil {
+		return nil
+	}
+	return &lanes.Instr{
+		Faults:   reg.Counter("lanes.faults"),
+		OpFaults: reg.CounterVec("lanes.op_faults."+label, c.OpLabels()),
+	}
+}
 
 // lanesBatch compiles the gadget once and returns the 64-lane batch trial:
 // encode 64 uniformly random logical inputs lane-wise, run the compiled
-// noisy program, decode with word-parallel recursive majority.
-func (g *Gadget) lanesBatch(m noise.Model) sim.BatchTrial {
+// noisy program, decode with word-parallel recursive majority. Fault
+// events are tallied per gate location when ctx carries a telemetry
+// registry.
+func (g *Gadget) lanesBatch(ctx context.Context, m noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(g.Circuit, m)
+	in := lanesInstr(ctx, fmt.Sprintf("gadget.%s.L%d", g.Kind, g.Level), g.Circuit)
 	nin := len(g.In)
 	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(g.Circuit.Width())
@@ -34,7 +55,7 @@ func (g *Gadget) lanesBatch(m noise.Model) sim.BatchTrial {
 		for i, wires := range g.In {
 			lanes.Encode(st, wires, ins[i])
 		}
-		prog.Run(st, r)
+		prog.RunInstr(st, r, in)
 		want := make([]uint64, nin)
 		copy(want, ins)
 		lanes.Eval(g.Kind, want)
@@ -49,27 +70,28 @@ func (g *Gadget) lanesBatch(m noise.Model) sim.BatchTrial {
 // LogicalErrorRateLanes estimates g_logical like LogicalErrorRate, but on
 // the 64-lane bit-sliced engine.
 func (g *Gadget) LogicalErrorRateLanes(m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
-	return sim.MonteCarloLanes(trials, workers, seed, g.lanesBatch(m))
+	return sim.MonteCarloLanes(trials, workers, seed, g.lanesBatch(context.Background(), m))
 }
 
 // LogicalErrorRateLanesCtx is LogicalErrorRateLanes on the cancellable
 // engine, with partial results and panic isolation like
 // LogicalErrorRateCtx.
 func (g *Gadget) LogicalErrorRateLanesCtx(ctx context.Context, m noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
-	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, g.lanesBatch(m))
+	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, g.lanesBatch(ctx, m))
 }
 
 // moduleBatch compiles the module once for the fixed logical input in;
 // all lanes carry the same input, the noise differs per lane.
-func (m *Module) moduleBatch(in uint64, nm noise.Model) sim.BatchTrial {
+func (m *Module) moduleBatch(ctx context.Context, in uint64, nm noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(m.Physical, nm)
+	instr := lanesInstr(ctx, "module", m.Physical)
 	want := m.Logical.Eval(in)
 	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(m.Physical.Width())
 		for i, wires := range m.In {
 			lanes.Encode(st, wires, lanes.Broadcast(in>>uint(i)&1 == 1))
 		}
-		prog.Run(st, r)
+		prog.RunInstr(st, r, instr)
 		var fail uint64
 		for i, wires := range m.Out {
 			fail |= lanes.Decode(st, wires) ^ lanes.Broadcast(want>>uint(i)&1 == 1)
@@ -81,18 +103,19 @@ func (m *Module) moduleBatch(in uint64, nm noise.Model) sim.BatchTrial {
 // ErrorRateLanes estimates the module's logical failure probability on the
 // given input like ErrorRate, but on the 64-lane engine.
 func (m *Module) ErrorRateLanes(in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
-	return sim.MonteCarloLanes(trials, workers, seed, m.moduleBatch(in, nm))
+	return sim.MonteCarloLanes(trials, workers, seed, m.moduleBatch(context.Background(), in, nm))
 }
 
 // ErrorRateLanesCtx is ErrorRateLanes on the cancellable engine.
 func (m *Module) ErrorRateLanesCtx(ctx context.Context, in uint64, nm noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
-	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, m.moduleBatch(in, nm))
+	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, m.moduleBatch(ctx, in, nm))
 }
 
 // unprotectedBatch compiles the bare logical circuit under noise — no
 // encoding, no recovery.
-func unprotectedBatch(logical *circuit.Circuit, in uint64, nm noise.Model) sim.BatchTrial {
+func unprotectedBatch(ctx context.Context, logical *circuit.Circuit, in uint64, nm noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(logical, nm)
+	instr := lanesInstr(ctx, "unprotected", logical)
 	want := logical.Eval(in)
 	width := logical.Width()
 	return func(r *rng.RNG) uint64 {
@@ -100,7 +123,7 @@ func unprotectedBatch(logical *circuit.Circuit, in uint64, nm noise.Model) sim.B
 		for w := 0; w < width; w++ {
 			st[w] = lanes.Broadcast(in>>uint(w)&1 == 1)
 		}
-		prog.Run(st, r)
+		prog.RunInstr(st, r, instr)
 		var fail uint64
 		for w := 0; w < width; w++ {
 			fail |= st[w] ^ lanes.Broadcast(want>>uint(w)&1 == 1)
@@ -111,11 +134,11 @@ func unprotectedBatch(logical *circuit.Circuit, in uint64, nm noise.Model) sim.B
 
 // UnprotectedErrorRateLanes is UnprotectedErrorRate on the 64-lane engine.
 func UnprotectedErrorRateLanes(logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
-	return sim.MonteCarloLanes(trials, workers, seed, unprotectedBatch(logical, in, nm))
+	return sim.MonteCarloLanes(trials, workers, seed, unprotectedBatch(context.Background(), logical, in, nm))
 }
 
 // UnprotectedErrorRateLanesCtx is UnprotectedErrorRateLanes on the
 // cancellable engine.
 func UnprotectedErrorRateLanesCtx(ctx context.Context, logical *circuit.Circuit, in uint64, nm noise.Model, trials, workers int, seed uint64) (sim.Result, error) {
-	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, unprotectedBatch(logical, in, nm))
+	return sim.MonteCarloLanesCtx(ctx, trials, workers, seed, unprotectedBatch(ctx, logical, in, nm))
 }

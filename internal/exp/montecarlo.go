@@ -14,6 +14,7 @@ import (
 	"revft/internal/rng"
 	"revft/internal/sim"
 	"revft/internal/stats"
+	"revft/internal/telemetry"
 	"revft/internal/vonneumann"
 )
 
@@ -108,9 +109,18 @@ func cycleErrorRate(c *lattice.Cycle, m noise.Model, trials, workers int, seed u
 
 // cycleBatch compiles the cycle once and returns the 64-lane batch trial:
 // random logical inputs per lane, one compiled noisy run per batch,
-// word-parallel majority decode.
-func cycleBatch(c *lattice.Cycle, m noise.Model) sim.BatchTrial {
+// word-parallel majority decode. When ctx carries a telemetry registry,
+// fault events are tallied per gate location under
+// "lanes.op_faults.<label>" (label is "cycle2d" or "cycle1d").
+func cycleBatch(ctx context.Context, label string, c *lattice.Cycle, m noise.Model) sim.BatchTrial {
 	prog := lanes.Compile(c.Circuit, m)
+	var instr *lanes.Instr
+	if reg := telemetry.Active(ctx); reg != nil {
+		instr = &lanes.Instr{
+			Faults:   reg.Counter("lanes.faults"),
+			OpFaults: reg.CounterVec("lanes.op_faults."+label, c.Circuit.OpLabels()),
+		}
+	}
 	nin := len(c.In)
 	return func(r *rng.RNG) uint64 {
 		st := lanes.NewState(c.Circuit.Width())
@@ -121,7 +131,7 @@ func cycleBatch(c *lattice.Cycle, m noise.Model) sim.BatchTrial {
 		for i, wires := range c.In {
 			lanes.Encode(st, wires, ins[i])
 		}
-		prog.Run(st, r)
+		prog.RunInstr(st, r, instr)
 		want := make([]uint64, nin)
 		copy(want, ins)
 		lanes.Eval(c.Kind, want)
@@ -135,7 +145,7 @@ func cycleBatch(c *lattice.Cycle, m noise.Model) sim.BatchTrial {
 
 // cycleErrorRateLanes is cycleErrorRate on the 64-lane engine.
 func cycleErrorRateLanes(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
-	return sim.MonteCarloLanes(trials, workers, seed, cycleBatch(c, m))
+	return sim.MonteCarloLanes(trials, workers, seed, cycleBatch(context.Background(), "cycle", c, m))
 }
 
 // EntropyMeasured measures the ancilla entropy of one noisy recovery cycle

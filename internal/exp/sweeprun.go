@@ -20,6 +20,7 @@ import (
 	"revft/internal/sim"
 	"revft/internal/stats"
 	"revft/internal/sweep"
+	"revft/internal/telemetry"
 	"revft/internal/threshold"
 )
 
@@ -41,6 +42,14 @@ type SweepOptions struct {
 	MaxTrials int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
+	// Metrics, when non-nil, collects the run's counters and histograms;
+	// it is threaded through the sweep runner into the engines.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives the sweep's JSONL event stream.
+	Trace *telemetry.Trace
+	// Manifest, when non-nil, is stamped with the sweep's spec digest and
+	// embedded in checkpoints.
+	Manifest *telemetry.Manifest
 }
 
 func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner {
@@ -50,6 +59,28 @@ func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner 
 		CheckpointPath: o.Checkpoint,
 		Resume:         o.Resume,
 		Progress:       o.Progress,
+		Metrics:        o.Metrics,
+		Trace:          o.Trace,
+		Manifest:       o.Manifest,
+	}
+}
+
+// recordGateCounts publishes a driver's measured gate counts as gauges
+// (exp.<experiment>.<name>) and as one gate_counts trace event, so a run's
+// circuit sizes are diffable against the paper's analytic G values without
+// rebuilding the circuits. counts alternates name, value pairs.
+func (o SweepOptions) recordGateCounts(experiment string, counts map[string]int) {
+	if o.Metrics != nil {
+		for name, v := range counts {
+			o.Metrics.Gauge("exp."+experiment+"."+name).Set(float64(v))
+		}
+	}
+	if o.Trace != nil {
+		fields := map[string]any{"experiment": experiment}
+		for name, v := range counts {
+			fields[name] = v
+		}
+		o.Trace.Emit("gate_counts", fields)
 	}
 }
 
@@ -86,10 +117,11 @@ func gadgetRateCtx(ctx context.Context, g *core.Gadget, m noise.Model, p MCParam
 }
 
 // cycleRateCtx dispatches a local cycle's cancellable error-rate estimate
-// to the selected engine.
-func cycleRateCtx(ctx context.Context, c *lattice.Cycle, m noise.Model, p MCParams, trials int, seed uint64) (sim.Result, error) {
+// to the selected engine. label keys the cycle's per-gate-location fault
+// telemetry ("cycle2d" or "cycle1d").
+func cycleRateCtx(ctx context.Context, label string, c *lattice.Cycle, m noise.Model, p MCParams, trials int, seed uint64) (sim.Result, error) {
 	if p.useLanes() {
-		return sim.MonteCarloLanesCtx(ctx, trials, p.Workers, seed, cycleBatch(c, m))
+		return sim.MonteCarloLanesCtx(ctx, trials, p.Workers, seed, cycleBatch(ctx, label, c, m))
 	}
 	return sim.MonteCarloCtx(ctx, trials, p.Workers, seed, cycleTrial(c, m))
 }
@@ -146,6 +178,10 @@ func noteAdaptive(t *Table, out *sweep.Outcome, o SweepOptions) {
 // with the cause.
 func RecoveryCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
 	gad := core.NewGadget(gate.MAJ, 1)
+	o.recordGateCounts("recovery", map[string]int{
+		"physical_ops": gad.Circuit.Len(),
+		"G_analytic":   threshold.GNonLocalInit,
+	})
 	spec := sweepSpec("recovery", gs, len(gs), p, o, "")
 	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		seed := sweep.ChunkSeed(p.Seed+uint64(pt), chunk)
@@ -181,9 +217,12 @@ func RecoveryCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) 
 // (level, g) cross product in row order.
 func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o SweepOptions) (*Table, error) {
 	gads := make([]*core.Gadget, maxLevel+1)
+	levelCounts := map[string]int{"G_analytic": threshold.GNonLocalInit}
 	for l := range gads {
 		gads[l] = core.NewGadget(gate.MAJ, l)
+		levelCounts[fmt.Sprintf("L%d.physical_ops", l)] = gads[l].Circuit.Len()
 	}
+	o.recordGateCounts("levels", levelCounts)
 	spec := sweepSpec("levels", gs, (maxLevel+1)*len(gs), p, o, fmt.Sprintf("maxlevel=%d", maxLevel))
 	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		l, i := pt/len(gs), pt%len(gs)
@@ -221,14 +260,20 @@ func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o Sw
 func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
 	c2 := lattice.NewCycle2D(gate.MAJ)
 	c1 := lattice.NewCycle1D(gate.MAJ)
+	o.recordGateCounts("local", map[string]int{
+		"cycle2d.physical_ops": c2.Circuit.Len(),
+		"cycle2d.G_analytic":   threshold.G2DInit,
+		"cycle1d.physical_ops": c1.Circuit.Len(),
+		"cycle1d.G_analytic":   threshold.G1DInit,
+	})
 	spec := sweepSpec("local", gs, len(gs), p, o, "")
 	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		m := noise.Uniform(gs[pt])
-		e2, rerr := cycleRateCtx(ctx, c2, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk))
+		e2, rerr := cycleRateCtx(ctx, "cycle2d", c2, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk))
 		if rerr != nil {
 			return []stats.Bernoulli{e2.Bernoulli, {}}, rerr
 		}
-		e1, rerr := cycleRateCtx(ctx, c1, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk))
+		e1, rerr := cycleRateCtx(ctx, "cycle1d", c1, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk))
 		return []stats.Bernoulli{e2.Bernoulli, e1.Bernoulli}, rerr
 	}).Run(ctx)
 	if out == nil {
@@ -267,6 +312,11 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 		in |= (a >> uint(i) & 1) << uint(l.A[i])
 		in |= (b >> uint(i) & 1) << uint(l.B[i])
 	}
+	o.recordGateCounts("adder", map[string]int{
+		"logical_ops":  logical.GateCount(),
+		"physical_ops": m.Physical.GateCount(),
+		"wires":        m.Physical.Width(),
+	})
 	spec := sweepSpec("adder", gs, len(gs), p, o, fmt.Sprintf("bits=%d", n))
 	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		nm := noise.Uniform(gs[pt])

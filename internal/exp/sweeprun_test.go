@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -9,6 +12,7 @@ import (
 	"testing"
 
 	"revft/internal/sweep"
+	"revft/internal/telemetry"
 )
 
 // cancelAfter is an io.Writer that cancels a context after n progress
@@ -200,5 +204,110 @@ func TestLanesEngineResumeIdentical(t *testing.T) {
 	}
 	if resumed.Format() != full.Format() {
 		t.Error("resumed lanes table differs from uninterrupted run")
+	}
+}
+
+// TestRecoveryTelemetryAgreesWithTable runs a real sweep with the full
+// observability stack attached and checks the three-way agreement the
+// trace exists to provide: the JSONL per-point trial counts, the
+// registry's counters, and the sweep outcome all report the same numbers.
+func TestRecoveryTelemetryAgreesWithTable(t *testing.T) {
+	reg := telemetry.New()
+	man := telemetry.Collect("exp-test")
+	var buf bytes.Buffer
+	tr, err := telemetry.NewTrace(&buf, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := []float64{1e-3, 1e-2}
+	p := MCParams{Trials: 2000, Workers: 2, Seed: 11, Engine: EngineLanes}
+	o := SweepOptions{Metrics: reg, Trace: tr, Manifest: man}
+	if _, err := RecoveryCtx(context.Background(), gs, p, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registry: every point ran its full fixed budget on the lanes engine.
+	snap := reg.Snapshot()
+	wantTrials := int64(len(gs) * p.Trials)
+	if got := snap.Counters[telemetry.TrialsMetric]; got != wantTrials {
+		t.Errorf("sim.trials = %d, want %d", got, wantTrials)
+	}
+	if got := snap.Counters["lanes.trials"]; got != wantTrials {
+		t.Errorf("lanes.trials = %d, want %d", got, wantTrials)
+	}
+	if snap.Counters["lanes.faults"] == 0 {
+		t.Error("lanes.faults = 0 after a noisy sweep")
+	}
+	if snap.Gauges["exp.recovery.G_analytic"] != 11 {
+		t.Errorf("exp.recovery.G_analytic = %v, want 11 (paper's G)", snap.Gauges["exp.recovery.G_analytic"])
+	}
+	// The per-op fault vector for the level-1 MAJ gadget must exist and
+	// sum to the total fault count.
+	var vecSum int64
+	for name, vec := range snap.Vecs {
+		if !strings.HasPrefix(name, "lanes.op_faults.gadget.MAJ.L1") {
+			continue
+		}
+		for _, v := range vec.Counts {
+			vecSum += v
+		}
+	}
+	if vecSum != snap.Counters["lanes.faults"] {
+		t.Errorf("per-op fault tallies sum to %d, total counter says %d", vecSum, snap.Counters["lanes.faults"])
+	}
+
+	// Trace: point_done trials match the fixed budget per point.
+	sc := bufio.NewScanner(&buf)
+	points := 0
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v", err)
+		}
+		if ev["type"] != "point_done" {
+			continue
+		}
+		points++
+		for _, tv := range ev["trials"].([]any) {
+			if int(tv.(float64)) != p.Trials {
+				t.Errorf("trace point %v trials = %v, want %d", ev["point"], tv, p.Trials)
+			}
+		}
+	}
+	if points != len(gs) {
+		t.Errorf("trace has %d point_done events, want %d", points, len(gs))
+	}
+	if man.SpecDigest == "" {
+		t.Error("manifest was not stamped with the spec digest")
+	}
+}
+
+// TestLocalTelemetryLabelsCycles: the local sweep tallies per-op faults
+// under separate cycle2d/cycle1d vectors on the lanes engine.
+func TestLocalTelemetryLabelsCycles(t *testing.T) {
+	reg := telemetry.New()
+	p := MCParams{Trials: 1500, Workers: 1, Seed: 3, Engine: EngineLanes}
+	if _, err := LocalCtx(context.Background(), []float64{2e-2}, p, SweepOptions{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"lanes.op_faults.cycle2d", "lanes.op_faults.cycle1d"} {
+		vec, ok := snap.Vecs[name]
+		if !ok {
+			t.Errorf("missing vector %s (have %d vecs)", name, len(snap.Vecs))
+			continue
+		}
+		var sum int64
+		for _, v := range vec.Counts {
+			sum += v
+		}
+		if sum == 0 {
+			t.Errorf("%s recorded no faults at g=2e-2", name)
+		}
+	}
+	for _, name := range []string{"exp.local.cycle2d.G_analytic", "exp.local.cycle1d.G_analytic"} {
+		if snap.Gauges[name] == 0 {
+			t.Errorf("gauge %s not set", name)
+		}
 	}
 }

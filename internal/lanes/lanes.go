@@ -31,6 +31,7 @@ import (
 	"revft/internal/gate"
 	"revft/internal/noise"
 	"revft/internal/rng"
+	"revft/internal/telemetry"
 )
 
 // State holds one uint64 per wire; bit j of word w is wire w's value in
@@ -158,11 +159,31 @@ func (p *Program) RunNoiseless(st State) {
 	}
 }
 
+// Instr carries the optional fault-injection instrumentation for
+// RunInstr. Faults accumulates total (op, lane) fault events; OpFaults
+// tallies them by gate location (slot i = op i, labelled by
+// circuit.OpLabels). Either field may be nil.
+//
+// The counters are touched only when a fault event actually occurs, so at
+// the small fault probabilities the experiments sweep the expected cost is
+// a few atomic adds per 64-lane batch — the same place the engine already
+// pays for fresh randomness — and the no-fault fast path is unchanged.
+type Instr struct {
+	Faults   *telemetry.Counter
+	OpFaults *telemetry.CounterVec
+}
+
 // Run executes the program on st under the compiled noise model, drawing
 // randomness from r. After each op a Bernoulli mask selects the faulted
 // lanes, whose target bits are replaced with uniform random values. It
 // returns the total number of (op, lane) fault events.
 func (p *Program) Run(st State, r *rng.RNG) int {
+	return p.RunInstr(st, r, nil)
+}
+
+// RunInstr is Run with optional fault telemetry: when in is non-nil, every
+// fault event is also tallied into in's counters. A nil in is exactly Run.
+func (p *Program) RunInstr(st State, r *rng.RNG, in *Instr) int {
 	if len(st) < p.width {
 		panic(fmt.Sprintf("lanes: state width %d < program width %d", len(st), p.width))
 	}
@@ -177,7 +198,11 @@ func (p *Program) Run(st State, r *rng.RNG) int {
 		if m == 0 {
 			continue
 		}
-		faults += bits.OnesCount64(m)
+		k := bits.OnesCount64(m)
+		faults += k
+		if in != nil {
+			in.OpFaults.Add(i, int64(k))
+		}
 		st[o.a] = st[o.a]&^m | r.Uint64()&m
 		if o.arity > 1 {
 			st[o.b] = st[o.b]&^m | r.Uint64()&m
@@ -185,6 +210,11 @@ func (p *Program) Run(st State, r *rng.RNG) int {
 		if o.arity > 2 {
 			st[o.c] = st[o.c]&^m | r.Uint64()&m
 		}
+	}
+	// The total is published once per run, not per event, so the counter
+	// costs one atomic add per faulting batch regardless of fault count.
+	if in != nil && faults > 0 {
+		in.Faults.Add(int64(faults))
 	}
 	return faults
 }

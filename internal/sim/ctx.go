@@ -6,6 +6,15 @@ package sim
 // SIGINT stop a run between trial batches and still hand back the partial
 // estimate accumulated so far, and they convert a panicking trial into a
 // typed, reproducible error instead of crashing the process.
+//
+// Both engines are instrumented through the telemetry registry resolved
+// from the context (telemetry.Active): completed trials globally and per
+// worker, sampled batch latency, per-worker wall time, lane-slot
+// utilization, and panic counts keyed by worker and seed. With telemetry
+// disabled the registry is nil and every metric call is a pointer-test
+// no-op; the counters a worker does keep are accumulated locally and
+// flushed at batch (lanes) or chunk (scalar) granularity, so the hot trial
+// loop never takes a shared atomic per trial.
 
 import (
 	"context"
@@ -14,11 +23,13 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"math/bits"
 
 	"revft/internal/rng"
 	"revft/internal/stats"
+	"revft/internal/telemetry"
 )
 
 // Result is the outcome of a context-aware Monte Carlo run: the Bernoulli
@@ -53,6 +64,24 @@ func (e *TrialPanicError) Error() string {
 // a millisecond while making the per-trial overhead unmeasurable.
 const ctxCheckInterval = 256
 
+// latSampleMask selects which batches are wall-clock timed for the batch
+// latency histogram: every 16th, so the two time.Now calls are amortized
+// to ~nothing while the sampled distribution still fills quickly.
+const latSampleMask = 15
+
+// workerInstr is one worker's telemetry handle set. The zero value (all
+// nil) is fully usable and makes every record a no-op, which is how
+// uninstrumented runs pay nothing.
+type workerInstr struct {
+	trials  *telemetry.Counter   // telemetry.TrialsMetric: global completed trials
+	wtrials *telemetry.Counter   // this worker's completed trials
+	batches *telemetry.Counter   // batches/chunks completed
+	lanesTr *telemetry.Counter   // lanes engine only: counted lane trials
+	slots   *telemetry.Counter   // lanes engine only: simulated lane slots
+	lat     *telemetry.Histogram // sampled batch latency, seconds
+	tick    uint
+}
+
 // MonteCarloCtx is MonteCarlo under a context: workers check ctx between
 // trial batches and stop early when it is cancelled. A run that completes
 // all trials is bit-identical to MonteCarlo for the same (seed, workers).
@@ -63,7 +92,7 @@ const ctxCheckInterval = 256
 // returned alongside it.
 func MonteCarloCtx(ctx context.Context, trials, workers int, seed uint64, trial func(r *rng.RNG) bool) (Result, error) {
 	return monteCarloCtx(ctx, trials, workers, 1, seed,
-		func(r *rng.RNG, n int, stop func() bool, hits, done *int) {
+		func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr) {
 			for i := 0; i < n; {
 				if stop() {
 					return
@@ -72,14 +101,29 @@ func MonteCarloCtx(ctx context.Context, trials, workers int, seed uint64, trial 
 				if chunk > ctxCheckInterval {
 					chunk = ctxCheckInterval
 				}
+				sample := wi.lat != nil && wi.tick&latSampleMask == 0
+				wi.tick++
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
 				h := 0
 				for end := i + chunk; i < end; i++ {
 					if trial(r) {
 						h++
 					}
 				}
+				if sample {
+					wi.lat.Observe(time.Since(t0).Seconds())
+				}
 				*hits += h
 				*done += chunk
+				// One chunk is 256 trials, so direct atomic adds here are
+				// already amortized; they are what keeps the registry's
+				// trial count exactly in step with *done.
+				wi.trials.Add(int64(chunk))
+				wi.wtrials.Add(int64(chunk))
+				wi.batches.Inc()
 			}
 		})
 }
@@ -89,12 +133,39 @@ func MonteCarloCtx(ctx context.Context, trials, workers int, seed uint64, trial 
 // MonteCarloCtx. The context is checked between 64-lane batches.
 func MonteCarloLanesCtx(ctx context.Context, trials, workers int, seed uint64, batch BatchTrial) (Result, error) {
 	return monteCarloCtx(ctx, trials, workers, 64, seed,
-		func(r *rng.RNG, n int, stop func() bool, hits, done *int) {
+		func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr) {
+			// Lane batches are only microseconds each, so telemetry counts
+			// accumulate locally and flush every flushEvery batches (and
+			// at exit, including panic unwinds — the deferred flush) to
+			// keep the instrumented engine within its throughput budget.
+			const flushEvery = 16
+			var fb, ft, fs int64
+			flush := func() {
+				if fb == 0 {
+					return
+				}
+				wi.batches.Add(fb)
+				wi.trials.Add(ft)
+				wi.wtrials.Add(ft)
+				wi.lanesTr.Add(ft)
+				wi.slots.Add(fs)
+				fb, ft, fs = 0, 0, 0
+			}
+			defer flush()
 			for remaining := n; remaining > 0; {
 				if stop() {
 					return
 				}
+				sample := wi.lat != nil && wi.tick&latSampleMask == 0
+				wi.tick++
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
 				m := batch(r)
+				if sample {
+					wi.lat.Observe(time.Since(t0).Seconds())
+				}
 				c := 64
 				if remaining < 64 {
 					m &= 1<<uint(remaining) - 1
@@ -103,6 +174,12 @@ func MonteCarloLanesCtx(ctx context.Context, trials, workers int, seed uint64, b
 				remaining -= c
 				*hits += bits.OnesCount64(m)
 				*done += c
+				fb++
+				ft += int64(c)
+				fs += 64
+				if fb == flushEvery {
+					flush()
+				}
 			}
 		})
 }
@@ -111,9 +188,9 @@ func MonteCarloLanesCtx(ctx context.Context, trials, workers int, seed uint64, b
 // of one body iteration (1 for scalar, 64 for lanes) and bounds the worker
 // count so no worker gets an empty share. body runs n trials on stream r,
 // polling stop between batches and accumulating through hits/done so
-// progress survives a panic.
+// progress survives a panic; wi carries the worker's telemetry handles.
 func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
-	body func(r *rng.RNG, n int, stop func() bool, hits, done *int)) (Result, error) {
+	body func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr)) (Result, error) {
 	if trials <= 0 {
 		return Result{}, nil
 	}
@@ -122,6 +199,12 @@ func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 	}
 	if shares := (trials + unit - 1) / unit; workers > shares {
 		workers = shares
+	}
+
+	reg := telemetry.Active(ctx)
+	latName := "sim.scalar.chunk_seconds"
+	if unit == 64 {
+		latName = "sim.lanes.batch_seconds"
 	}
 
 	master := rng.New(seed)
@@ -155,6 +238,19 @@ func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 		}
 		wg.Add(1)
 		go func(w, n int) {
+			wi := &workerInstr{}
+			var started time.Time
+			if reg != nil {
+				wi.trials = reg.Counter(telemetry.TrialsMetric)
+				wi.wtrials = reg.Counter(fmt.Sprintf("sim.worker.%02d.trials", w))
+				wi.batches = reg.Counter("sim.batches")
+				wi.lat = reg.Histogram(latName, telemetry.LatencyBuckets)
+				if unit == 64 {
+					wi.lanesTr = reg.Counter("lanes.trials")
+					wi.slots = reg.Counter("lanes.slots")
+				}
+				started = time.Now()
+			}
 			var hits, done int
 			defer func() {
 				if r := recover(); r != nil {
@@ -163,13 +259,19 @@ func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 						panicErr = &TrialPanicError{Worker: w, Seed: seed, Value: r, Stack: debug.Stack()}
 					}
 					panicMu.Unlock()
+					// Keyed by worker and seed so a dashboard shows which
+					// reproducible stream is failing.
+					reg.Counter(fmt.Sprintf("sim.panics.worker.%02d.seed.%d", w, seed)).Inc()
 					cancel()
+				}
+				if reg != nil {
+					reg.Gauge(fmt.Sprintf("sim.worker.%02d.seconds", w)).Set(time.Since(started).Seconds())
 				}
 				hitsTotal.Add(int64(hits))
 				doneTotal.Add(int64(done))
 				wg.Done()
 			}()
-			body(streams[w], n, func() bool { return cctx.Err() != nil }, &hits, &done)
+			body(streams[w], n, func() bool { return cctx.Err() != nil }, &hits, &done, wi)
 		}(w, n)
 	}
 	wg.Wait()

@@ -3,12 +3,16 @@ package sim
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/bits"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"revft/internal/rng"
+	"revft/internal/telemetry"
 )
 
 // cheapTrial is a realistic-cost trial: a few RNG draws and a branch.
@@ -253,5 +257,116 @@ func TestCtxPartialMaskTruncation(t *testing.T) {
 	}
 	if bits.OnesCount64(1<<36-1) != 36 {
 		t.Fatal("mask arithmetic broken")
+	}
+}
+
+// TestTelemetryCountsMatchResultOnCancel is the no-drift contract: when a
+// run is cancelled mid-batch, the registry's trial counter must equal the
+// partial Result's trial count exactly — the deferred per-worker flush may
+// not lose or double-count the in-flight batch. Exercised on both engines,
+// across worker counts, with a mid-run cancel.
+func TestTelemetryCountsMatchResultOnCancel(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(ctx context.Context, trials, workers int) (Result, error)
+	}{
+		{"scalar", func(ctx context.Context, trials, workers int) (Result, error) {
+			return MonteCarloCtx(ctx, trials, workers, 7, cheapTrial)
+		}},
+		{"lanes", func(ctx context.Context, trials, workers int) (Result, error) {
+			return MonteCarloLanesCtx(ctx, trials, workers, 7, cheapBatch)
+		}},
+	} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				reg := telemetry.New()
+				ctx, cancel := context.WithCancel(telemetry.NewContext(context.Background(), reg))
+				defer cancel()
+				go func() {
+					// Let some batches complete, then cancel mid-run.
+					for reg.Counter(telemetry.TrialsMetric).Load() == 0 {
+						time.Sleep(100 * time.Microsecond)
+					}
+					cancel()
+				}()
+				res, err := tc.run(ctx, 1<<40, workers)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				if !res.Partial {
+					t.Fatal("mid-run cancel should yield a partial result")
+				}
+				got := reg.Counter(telemetry.TrialsMetric).Load()
+				if got != int64(res.Trials) {
+					t.Errorf("registry counted %d trials, result counted %d (drift %d)",
+						got, res.Trials, got-int64(res.Trials))
+				}
+			})
+		}
+	}
+}
+
+// TestTelemetryCountsMatchResultComplete: same contract on a run that
+// finishes its full budget.
+func TestTelemetryCountsMatchResultComplete(t *testing.T) {
+	reg := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), reg)
+	const trials = 100000
+	res, err := MonteCarloLanesCtx(ctx, trials, 3, 7, cheapBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != trials {
+		t.Fatalf("completed run counted %d trials", res.Trials)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[telemetry.TrialsMetric]; got != trials {
+		t.Errorf("registry sim.trials = %d, want %d", got, trials)
+	}
+	if got := snap.Counters["lanes.trials"]; got != trials {
+		t.Errorf("registry lanes.trials = %d, want %d", got, trials)
+	}
+	// Slots count whole 64-lane batches, so slots >= trials and
+	// utilization = trials/slots is in (0, 1].
+	slots := snap.Counters["lanes.slots"]
+	if slots < trials || slots%64 != 0 {
+		t.Errorf("lanes.slots = %d, want a multiple of 64 >= %d", slots, trials)
+	}
+	// Per-worker counters must sum to the global count.
+	var perWorker int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "sim.worker.") && strings.HasSuffix(name, ".trials") {
+			perWorker += v
+		}
+	}
+	if perWorker != trials {
+		t.Errorf("per-worker trial counters sum to %d, want %d", perWorker, trials)
+	}
+}
+
+// TestTelemetryPanicCounter: a recovered trial panic increments the
+// worker+seed-keyed panic counter, and the registry's trial count still
+// matches the partial result.
+func TestTelemetryPanicCounter(t *testing.T) {
+	reg := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), reg)
+	var fired atomic.Bool
+	res, err := MonteCarloCtx(ctx, 1<<40, 2, 99, func(r *rng.RNG) bool {
+		if fired.Swap(true) {
+			return cheapTrial(r)
+		}
+		panic("boom")
+	})
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *TrialPanicError", err)
+	}
+	snap := reg.Snapshot()
+	key := fmt.Sprintf("sim.panics.worker.%02d.seed.99", pe.Worker)
+	if got := snap.Counters[key]; got != 1 {
+		t.Errorf("%s = %d, want 1", key, got)
+	}
+	if got := snap.Counters[telemetry.TrialsMetric]; got != int64(res.Trials) {
+		t.Errorf("registry counted %d trials, result %d", got, res.Trials)
 	}
 }

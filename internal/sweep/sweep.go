@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"time"
 
 	"revft/internal/stats"
+	"revft/internal/telemetry"
 )
 
 // StopRule configures adaptive early stopping per sweep point. The rule
@@ -61,6 +63,28 @@ func (s StopRule) Converged(ests []stats.Bernoulli) bool {
 		}
 	}
 	return true
+}
+
+// MaxRelHalfWidth returns the loosest estimate's ratio of 95% Wilson
+// half-width to rate — the quantity Converged compares against RelTol,
+// reported in telemetry so every early-stop decision records the width
+// that triggered it. Estimates with zero successes (or an empty slice)
+// yield math.Inf(1).
+func (s StopRule) MaxRelHalfWidth(ests []stats.Bernoulli) float64 {
+	if len(ests) == 0 {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for _, e := range ests {
+		if e.Successes == 0 {
+			return math.Inf(1)
+		}
+		lo, hi := e.Wilson(1.96)
+		if rel := (hi - lo) / 2 / e.Rate(); rel > max {
+			max = rel
+		}
+	}
+	return max
 }
 
 // Spec identifies a sweep for checkpoint compatibility. Every field feeds
@@ -106,17 +130,24 @@ type PointResult struct {
 }
 
 // Checkpoint is the on-disk resume state: the spec (and its digest) plus
-// every fully completed point.
+// every fully completed point, and — when the run carried one — the
+// manifest of the process that wrote it, so the numbers in a resumed table
+// stay attributable to the exact binary and configuration that produced
+// each point.
 type Checkpoint struct {
-	Digest  string        `json:"digest"`
-	Spec    Spec          `json:"spec"`
-	Done    []PointResult `json:"done"`
-	SavedAt time.Time     `json:"saved_at"`
+	Digest   string              `json:"digest"`
+	Spec     Spec                `json:"spec"`
+	Done     []PointResult       `json:"done"`
+	SavedAt  time.Time           `json:"saved_at"`
+	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 }
 
-// Save writes the checkpoint atomically: marshal to a temp file in the
-// destination directory, fsync, then rename over path. A crash mid-write
-// leaves the previous checkpoint intact.
+// Save writes the checkpoint atomically and durably: marshal to a temp
+// file in the destination directory, fsync the file, rename over path,
+// then fsync the directory so the rename itself survives power loss. A
+// crash mid-write leaves the previous checkpoint intact; a crash after
+// the rename leaves the new one. There is no window in which path names a
+// truncated file.
 func (c *Checkpoint) Save(path string) error {
 	b, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
@@ -130,6 +161,9 @@ func (c *Checkpoint) Save(path string) error {
 	tmp := f.Name()
 	_, werr := f.Write(append(b, '\n'))
 	if werr == nil {
+		// The fsync before rename is load-bearing: without it a power
+		// loss can commit the rename while the data blocks are still
+		// unwritten, leaving a truncated file under the final name.
 		werr = f.Sync()
 	}
 	if cerr := f.Close(); werr == nil {
@@ -142,11 +176,19 @@ func (c *Checkpoint) Save(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("sweep: write checkpoint %s: %w", path, werr)
 	}
+	// Make the rename durable. Best-effort: some filesystems reject
+	// directory fsync, and the write itself already succeeded.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 	return nil
 }
 
-// Load reads a checkpoint and verifies its internal digest matches its
-// embedded spec, rejecting files corrupted or hand-edited out of sync.
+// Load reads a checkpoint and verifies first that it parses and then that
+// its internal digest matches its embedded spec — rejecting truncated or
+// otherwise corrupt files with a clean error (never a panic), and files
+// hand-edited out of sync with their digest.
 func Load(path string) (*Checkpoint, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -154,7 +196,7 @@ func Load(path string) (*Checkpoint, error) {
 	}
 	var c Checkpoint
 	if err := json.Unmarshal(b, &c); err != nil {
-		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("sweep: corrupt checkpoint %s (not valid JSON — truncated write or wrong file?): %w", path, err)
 	}
 	if got := c.Spec.Digest(); got != c.Digest {
 		return nil, fmt.Errorf("sweep: checkpoint %s is internally inconsistent (spec digest %.12s, recorded %.12s)",
@@ -194,6 +236,19 @@ type Runner struct {
 	Resume bool
 	// Progress, when non-nil, receives one human-readable line per point.
 	Progress io.Writer
+
+	// Metrics, when non-nil, receives sweep counters and timing
+	// histograms (points done, per-point wall time, checkpoint write
+	// latency, early stops) and is attached to the context handed to
+	// Point, so the engines underneath report into the same registry.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives one structured JSONL event per sweep
+	// transition: spec, point_resumed, point_done, early_stop,
+	// checkpoint, sweep_done.
+	Trace *telemetry.Trace
+	// Manifest, when non-nil, is stamped with the spec digest and
+	// embedded in every checkpoint written.
+	Manifest *telemetry.Manifest
 }
 
 // Outcome is what a sweep produced: completed points in index order,
@@ -211,6 +266,22 @@ type Outcome struct {
 // exists and exit cleanly.
 func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 	digest := r.Spec.Digest()
+	if r.Manifest != nil {
+		r.Manifest.SpecDigest = digest
+	}
+	if r.Metrics != nil {
+		// The engines under Point resolve their registry from the context,
+		// so attaching it here is what makes sim/lanes counters land in the
+		// same registry as the sweep's own.
+		ctx = telemetry.NewContext(ctx, r.Metrics)
+	}
+	r.Trace.Emit("spec", map[string]any{
+		"experiment": r.Spec.Experiment,
+		"digest":     digest,
+		"points":     r.Spec.Points,
+		"trials":     r.Spec.Trials,
+		"engine":     r.Spec.Engine,
+	})
 	resumed := make(map[int]PointResult)
 	if r.Resume {
 		if r.CheckpointPath == "" {
@@ -236,13 +307,24 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		if r.CheckpointPath == "" {
 			return nil
 		}
-		ck := &Checkpoint{Digest: digest, Spec: r.Spec, SavedAt: time.Now().UTC()}
+		ck := &Checkpoint{Digest: digest, Spec: r.Spec, SavedAt: time.Now().UTC(), Manifest: r.Manifest}
 		for _, p := range out.Done {
 			if !p.Partial {
 				ck.Done = append(ck.Done, p)
 			}
 		}
-		return ck.Save(r.CheckpointPath)
+		t0 := time.Now()
+		err := ck.Save(r.CheckpointPath)
+		wall := time.Since(t0).Seconds()
+		if r.Metrics != nil {
+			r.Metrics.Counter("sweep.checkpoint_writes").Inc()
+			r.Metrics.Histogram("sweep.checkpoint_seconds", telemetry.LatencyBuckets).Observe(wall)
+		}
+		r.Trace.Emit("checkpoint", map[string]any{
+			"path": r.CheckpointPath, "points": len(ck.Done),
+			"wall_seconds": wall, "ok": err == nil,
+		})
+		return err
 	}
 
 	for pt := 0; pt < r.Spec.Points; pt++ {
@@ -250,9 +332,23 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 			out.Done = append(out.Done, p)
 			out.Resumed++
 			r.progressf("point %d/%d: resumed from checkpoint", pt+1, r.Spec.Points)
+			r.Trace.Emit("point_resumed", map[string]any{"point": pt, "trials": estTrials(p.Ests)})
 			continue
 		}
+		t0 := time.Now()
 		p, err := r.runPoint(ctx, pt)
+		wall := time.Since(t0).Seconds()
+		if r.Metrics != nil {
+			r.Metrics.Histogram("sweep.point_seconds", telemetry.WallBuckets).Observe(wall)
+			if err == nil {
+				r.Metrics.Counter("sweep.points_done").Inc()
+			}
+		}
+		r.Trace.Emit("point_done", map[string]any{
+			"point": pt, "wall_seconds": wall,
+			"trials": estTrials(p.Ests), "successes": estSuccesses(p.Ests),
+			"stopped": p.Stopped, "partial": p.Partial,
+		})
 		if len(p.Ests) > 0 || err == nil {
 			out.Done = append(out.Done, p)
 		}
@@ -261,6 +357,7 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 			if serr := save(); serr != nil {
 				err = errors.Join(err, serr)
 			}
+			r.Trace.Emit("sweep_done", map[string]any{"complete": false, "points": len(out.Done), "resumed": out.Resumed})
 			return out, err
 		}
 		r.progressf("point %d/%d: done%s", pt+1, r.Spec.Points, stoppedNote(p))
@@ -269,7 +366,27 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		}
 	}
 	out.Complete = true
+	r.Trace.Emit("sweep_done", map[string]any{"complete": true, "points": len(out.Done), "resumed": out.Resumed})
 	return out, nil
+}
+
+// estTrials and estSuccesses project an estimate slice for trace events,
+// so per-point trial counts in the JSONL stream are diffable against the
+// printed tables without re-deriving them from checkpoints.
+func estTrials(ests []stats.Bernoulli) []int {
+	out := make([]int, len(ests))
+	for i, e := range ests {
+		out[i] = e.Trials
+	}
+	return out
+}
+
+func estSuccesses(ests []stats.Bernoulli) []int {
+	out := make([]int, len(ests))
+	for i, e := range ests {
+		out[i] = e.Successes
+	}
+	return out
 }
 
 func stoppedNote(p PointResult) string {
@@ -321,6 +438,15 @@ func (r *Runner) runPoint(ctx context.Context, pt int) (PointResult, error) {
 		ran += n
 		if ran >= floor && ran < ceiling && rule.Converged(p.Ests) {
 			p.Stopped = true
+			if r.Metrics != nil {
+				r.Metrics.Counter("sweep.early_stops").Inc()
+			}
+			// Record the Wilson half-width that let the rule fire, so every
+			// early-stop decision in the trace is auditable against RelTol.
+			r.Trace.Emit("early_stop", map[string]any{
+				"point": pt, "trials": ran,
+				"rel_halfwidth": rule.MaxRelHalfWidth(p.Ests), "reltol": rule.RelTol,
+			})
 			break
 		}
 		chunkSize *= 2

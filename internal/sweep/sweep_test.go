@@ -1,7 +1,10 @@
 package sweep
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,6 +14,7 @@ import (
 
 	"revft/internal/rng"
 	"revft/internal/stats"
+	"revft/internal/telemetry"
 )
 
 // fakePoint is a deterministic PointFunc: estimates derived purely from
@@ -295,5 +299,161 @@ func TestPartialPointExcludedFromCheckpoint(t *testing.T) {
 	}
 	if len(loaded.Done) != 1 || loaded.Done[0].Index != 0 {
 		t.Errorf("checkpoint should hold only completed point 0: %+v", loaded.Done)
+	}
+}
+
+// TestLoadRejectsTruncatedCheckpoint simulates the classic torn write: a
+// checkpoint cut off mid-JSON must produce a clean "corrupt checkpoint"
+// error naming the file, never a panic or a half-parsed resume.
+func TestLoadRejectsTruncatedCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	spec := testSpec(3)
+	if _, err := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: path}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		if err := os.WriteFile(path, b[:int(float64(len(b))*frac)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, lerr := Load(path)
+		if lerr == nil || !strings.Contains(lerr.Error(), "corrupt checkpoint") {
+			t.Errorf("truncated to %.0f%%: err = %v, want corrupt-checkpoint error", 100*frac, lerr)
+		}
+		if !strings.Contains(lerr.Error(), path) {
+			t.Errorf("error should name the file: %v", lerr)
+		}
+	}
+}
+
+// TestCheckpointEmbedsManifest: a runner carrying a manifest persists it,
+// stamped with the spec digest, and it round-trips through Load.
+func TestCheckpointEmbedsManifest(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	man := telemetry.Collect("sweep-test")
+	man.Experiment = "fake"
+	spec := testSpec(2)
+	if _, err := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: ck, Manifest: man}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Manifest == nil {
+		t.Fatal("checkpoint has no manifest")
+	}
+	if loaded.Manifest.Tool != "sweep-test" || loaded.Manifest.Experiment != "fake" {
+		t.Errorf("manifest fields lost: %+v", loaded.Manifest)
+	}
+	if loaded.Manifest.SpecDigest != spec.Digest() {
+		t.Errorf("manifest spec digest = %q, want %q", loaded.Manifest.SpecDigest, spec.Digest())
+	}
+}
+
+// TestRunnerTelemetry: a full sweep under a registry and trace reports one
+// point_seconds observation and one checkpoint write per point, and the
+// trace's point_done trial counts match the outcome exactly.
+func TestRunnerTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	var buf bytes.Buffer
+	tr, err := telemetry.NewTrace(&buf, telemetry.Collect("sweep-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(3)
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	out, err := (&Runner{
+		Spec: spec, Point: fakePoint(42), CheckpointPath: ck,
+		Metrics: reg, Trace: tr, Manifest: telemetry.Collect("sweep-test"),
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sweep.points_done"]; got != 3 {
+		t.Errorf("sweep.points_done = %d, want 3", got)
+	}
+	if got := snap.Counters["sweep.checkpoint_writes"]; got != 3 {
+		t.Errorf("sweep.checkpoint_writes = %d, want 3", got)
+	}
+	if h := snap.Histograms["sweep.point_seconds"]; h.Count != 3 {
+		t.Errorf("sweep.point_seconds histogram = %+v, want count 3", h)
+	}
+
+	var pointDone, sweepDone int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v", err)
+		}
+		switch ev["type"] {
+		case "point_done":
+			pt := int(ev["point"].(float64))
+			trials := ev["trials"].([]any)
+			if len(trials) != len(out.Done[pt].Ests) {
+				t.Fatalf("point %d: %d trial entries, want %d", pt, len(trials), len(out.Done[pt].Ests))
+			}
+			for i, tv := range trials {
+				if int(tv.(float64)) != out.Done[pt].Ests[i].Trials {
+					t.Errorf("point %d est %d: trace trials %v != outcome %d", pt, i, tv, out.Done[pt].Ests[i].Trials)
+				}
+			}
+			pointDone++
+		case "sweep_done":
+			if ev["complete"] != true {
+				t.Errorf("sweep_done complete = %v", ev["complete"])
+			}
+			sweepDone++
+		}
+	}
+	if pointDone != 3 || sweepDone != 1 {
+		t.Errorf("trace events: point_done %d (want 3), sweep_done %d (want 1)", pointDone, sweepDone)
+	}
+}
+
+// TestEarlyStopTraceRecordsHalfWidth: an early-stopped point's trace event
+// carries the Wilson half-width that satisfied the rule.
+func TestEarlyStopTraceRecordsHalfWidth(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := telemetry.NewTrace(&buf, telemetry.Collect("sweep-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	spec := testSpec(1)
+	spec.Trials = 1 << 20
+	spec.Stop = StopRule{RelTol: 0.2, MinTrials: 500}
+	if _, err := (&Runner{Spec: spec, Point: fakePoint(42), Metrics: reg, Trace: tr}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["sweep.early_stops"]; got != 1 {
+		t.Fatalf("sweep.early_stops = %d, want 1", got)
+	}
+	found := false
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["type"] != "early_stop" {
+			continue
+		}
+		found = true
+		rel, ok := ev["rel_halfwidth"].(float64)
+		if !ok || rel <= 0 || rel > spec.Stop.RelTol {
+			t.Errorf("early_stop rel_halfwidth = %v, want in (0, %g]", ev["rel_halfwidth"], spec.Stop.RelTol)
+		}
+		if ev["reltol"] != spec.Stop.RelTol {
+			t.Errorf("early_stop reltol = %v", ev["reltol"])
+		}
+	}
+	if !found {
+		t.Error("no early_stop event in trace")
 	}
 }

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the live observability endpoint of a running experiment:
+//
+//	/metrics            the registry in plain text (see WriteMetrics)
+//	/debug/vars         expvar JSON, including the registry snapshot under
+//	                    the key "revft" plus the standard memstats/cmdline
+//	/debug/pprof/...    the full net/http/pprof suite (profile, heap,
+//	                    goroutine, trace, ...)
+type DebugServer struct {
+	// Addr is the address actually bound, e.g. "127.0.0.1:6060" — useful
+	// when the requested port was 0.
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-wide expvar.Publish of the registry
+// snapshot: expvar panics on duplicate names, and tests may start several
+// debug servers in one process.
+var expvarOnce sync.Once
+
+// ServeDebug starts the debug endpoint on addr (host:port; port 0 picks a
+// free one) serving reg, and returns once the listener is bound. The
+// server runs until Close. The registry snapshot is also published to
+// expvar under "revft", so any expvar consumer sees it process-wide.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listener on %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() {
+		// Prefer the process default (kept current if commands swap
+		// registries); fall back to the registry this server was
+		// started with.
+		expvar.Publish("revft", expvar.Func(func() any {
+			if d := Default(); d != nil {
+				return d.Snapshot()
+			}
+			return reg.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.WriteMetrics(w); err != nil {
+			// The response is already partially written; nothing to do.
+			_ = err
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// ErrServerClosed after Close is the normal exit; anything else
+		// has nowhere useful to go in a debug endpoint.
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+// Close stops the server and its listener.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

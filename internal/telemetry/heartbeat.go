@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Heartbeat metric names. The sim harness feeds TrialsMetric; drivers that
+// know their total budget set ExpectedTrialsMetric so the heartbeat can
+// print an ETA.
+const (
+	// TrialsMetric counts completed Monte Carlo trials across all engines
+	// and workers.
+	TrialsMetric = "sim.trials"
+	// ExpectedTrialsMetric is a gauge holding the run's total expected
+	// trial count (an upper bound under adaptive early stopping).
+	ExpectedTrialsMetric = "run.trials_expected"
+)
+
+// StartHeartbeat prints a progress line to w every interval: trials done,
+// instantaneous trials/sec over the last interval, and — when the
+// ExpectedTrialsMetric gauge is set — percent complete and ETA. It returns
+// a stop function that halts the ticker and prints one final line.
+// A nil registry yields a no-op stop function.
+func StartHeartbeat(w io.Writer, reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	trials := reg.Counter(TrialsMetric)
+	expected := reg.Gauge(ExpectedTrialsMetric)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		last := trials.Load()
+		lastT := time.Now()
+		line := func(final bool) {
+			now := time.Now()
+			cur := trials.Load()
+			rate := float64(cur-last) / now.Sub(lastT).Seconds()
+			last, lastT = cur, now
+			msg := fmt.Sprintf("heartbeat: %d trials, %.3g trials/s", cur, rate)
+			if exp := int64(expected.Load()); exp > 0 {
+				msg += fmt.Sprintf(", %.1f%%", 100*float64(cur)/float64(exp))
+				if !final && rate > 0 && cur < exp {
+					eta := time.Duration(float64(exp-cur) / rate * float64(time.Second))
+					msg += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+				}
+			}
+			if final {
+				msg += " (done)"
+			}
+			fmt.Fprintln(w, msg)
+		}
+		for {
+			select {
+			case <-tick.C:
+				line(false)
+			case <-done:
+				line(true)
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest identifies the exact configuration a run's numbers came from.
+// It is written as the header line of every trace file and embedded in
+// every sweep checkpoint, so any artifact can be traced back to the tool,
+// code revision, engine, seed, and machine shape that produced it.
+type Manifest struct {
+	Tool       string    `json:"tool"`                  // producing command, e.g. "revft-mc"
+	Experiment string    `json:"experiment,omitempty"`  // experiment name
+	SpecDigest string    `json:"spec_digest,omitempty"` // sweep.Spec digest, when the run is a sweep
+	Engine     string    `json:"engine,omitempty"`      // "scalar" or "lanes"
+	Seed       uint64    `json:"seed"`
+	Trials     int       `json:"trials,omitempty"`
+	Workers    int       `json:"workers,omitempty"`
+	Git        string    `json:"git"` // vcs revision (+dirty), or "unknown"
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	StartedAt  time.Time `json:"started_at"`
+}
+
+// Collect builds a manifest for tool from the running binary: Go version,
+// platform, GOMAXPROCS, start time, and the VCS revision stamped into the
+// build info (the go tool's equivalent of git-describe; "unknown" for
+// unstamped builds such as go test binaries).
+func Collect(tool string) *Manifest {
+	m := &Manifest{
+		Tool:       tool,
+		Git:        "unknown",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		StartedAt:  time.Now().UTC(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			m.Git = rev
+		}
+	}
+	return m
+}

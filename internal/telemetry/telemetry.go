@@ -1,0 +1,507 @@
+// Package telemetry is the observability layer for the Monte Carlo stack:
+// a dependency-free metrics registry, a structured JSONL event sink, a run
+// manifest, and a live debug HTTP endpoint (/metrics, expvar, pprof).
+//
+// The registry holds four metric kinds, all safe for concurrent use:
+//
+//   - Counter: a monotonically increasing atomic int64;
+//   - Gauge: an atomic float64 set to the latest value;
+//   - Histogram: fixed upper-bound buckets with an atomic count per bucket
+//     plus total count and sum, so latency and throughput distributions
+//     cost one atomic add per observation;
+//   - CounterVec: a fixed-size array of labelled counters, used for
+//     per-gate-location fault tallies.
+//
+// Everything is nil-tolerant: every method on a nil *Registry, nil metric,
+// or nil *Trace is a no-op that compiles to a pointer test, so
+// instrumented hot paths run at full speed when telemetry is disabled and
+// call sites need no "if enabled" guards.
+//
+// Snapshots are plain structs (JSON-encodable, mergeable with Merge), which
+// is what the /metrics endpoint, the expvar export, and the trace sink all
+// render from.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds for sub-second latencies
+// (batch execution, checkpoint writes): decades from 1µs to 10s.
+var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// WallBuckets are the default histogram bounds for long wall-clock spans
+// (sweep points): 100ms to ~1h.
+var WallBuckets = []float64{0.1, 0.5, 1, 5, 15, 60, 300, 900, 3600}
+
+// Counter is a monotonically increasing atomic counter. The nil Counter
+// discards everything.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value, 0 on nil.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically stored float64 holding the latest value set. The
+// nil Gauge discards everything.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Load returns the current value, 0 on nil.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets. An
+// observation lands in the first bucket whose bound is >= the value; values
+// above every bound land in the implicit +Inf bucket. The nil Histogram
+// discards everything.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; implicit +Inf bucket after
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a consistent-enough copy for rendering: bucket counts
+// are loaded individually, so a snapshot taken mid-run may be off by the
+// observations in flight — acceptable for monitoring, never for results.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// CounterVec is a fixed-size array of labelled counters sharing one name —
+// the per-gate-location fault tally. Index i carries label Labels()[i].
+// The nil CounterVec discards everything.
+type CounterVec struct {
+	labels []string
+	counts []atomic.Int64
+}
+
+// Add increments slot i by n. Out-of-range indices and nil receivers are
+// no-ops, so hot loops need no bounds guard.
+func (v *CounterVec) Add(i int, n int64) {
+	if v == nil || i < 0 || i >= len(v.counts) {
+		return
+	}
+	v.counts[i].Add(n)
+}
+
+// Load returns slot i's value, 0 when out of range or nil.
+func (v *CounterVec) Load(i int) int64 {
+	if v == nil || i < 0 || i >= len(v.counts) {
+		return 0
+	}
+	return v.counts[i].Load()
+}
+
+// Len returns the number of slots, 0 on nil.
+func (v *CounterVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.counts)
+}
+
+// Labels returns the slot labels (shared slice; do not modify).
+func (v *CounterVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	return v.labels
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call New. All methods are safe for concurrent use, and every method on a
+// nil *Registry returns a nil metric whose methods are no-ops — a disabled
+// registry therefore costs one pointer test per call site.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	vecs     map[string]*CounterVec
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*CounterVec),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. A later call with different bounds returns the existing
+// histogram unchanged: bounds are fixed at creation so snapshots stay
+// mergeable.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the named counter vector, creating it with the given
+// slot labels on first use. A later call whose labels fit the existing size
+// reuses it (accumulating across calls); a larger request replaces the
+// vector, preserving the counts of the common prefix. Replacement is meant
+// for setup paths between runs, not for concurrent hot loops.
+func (r *Registry) CounterVec(name string, labels []string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vecs[name]
+	if ok && len(labels) <= len(v.counts) {
+		return v
+	}
+	nv := &CounterVec{labels: append([]string(nil), labels...), counts: make([]atomic.Int64, len(labels))}
+	if ok {
+		for i := range v.counts {
+			nv.counts[i].Store(v.counts[i].Load())
+		}
+	}
+	r.vecs[name] = nv
+	return nv
+}
+
+// Uptime returns the time since the registry was created, 0 on nil.
+func (r *Registry) Uptime() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// HistogramSnapshot is the frozen state of a histogram. Counts has one
+// entry per bound plus the final +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Merge adds o's observations into s. The bounds must match.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
+		*s = o
+		return nil
+	}
+	if len(o.Counts) == 0 {
+		return nil
+	}
+	if len(o.Bounds) != len(s.Bounds) {
+		return fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(o.Bounds), len(s.Bounds))
+	}
+	for i, b := range o.Bounds {
+		if b != s.Bounds[i] {
+			return fmt.Errorf("telemetry: merging histograms with different bounds (%g vs %g)", b, s.Bounds[i])
+		}
+	}
+	for i := range o.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return nil
+}
+
+// VecSnapshot is the frozen state of a CounterVec.
+type VecSnapshot struct {
+	Labels []string `json:"labels"`
+	Counts []int64  `json:"counts"`
+}
+
+// Snapshot is the frozen state of a whole registry — what /metrics, the
+// expvar export, and trace metric events render.
+type Snapshot struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Vecs          map[string]VecSnapshot       `json:"vecs,omitempty"`
+}
+
+// Snapshot freezes the registry. On nil it returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Vecs:       make(map[string]VecSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	s.UptimeSeconds = r.Uptime().Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for name, v := range r.vecs {
+		vs := VecSnapshot{Labels: append([]string(nil), v.labels...), Counts: make([]int64, len(v.counts))}
+		for i := range v.counts {
+			vs.Counts[i] = v.counts[i].Load()
+		}
+		s.Vecs[name] = vs
+	}
+	return s
+}
+
+// Merge folds o into s: counters, histogram buckets, and vec slots add;
+// gauges take o's value when present. Histogram or vec shape mismatches
+// return an error (s keeps the entries merged so far).
+func (s *Snapshot) Merge(o Snapshot) error {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	if s.Vecs == nil {
+		s.Vecs = make(map[string]VecSnapshot)
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] = v
+	}
+	for name, oh := range o.Histograms {
+		h := s.Histograms[name]
+		if err := h.Merge(oh); err != nil {
+			return fmt.Errorf("%w (histogram %q)", err, name)
+		}
+		s.Histograms[name] = h
+	}
+	for name, ov := range o.Vecs {
+		v, ok := s.Vecs[name]
+		if !ok {
+			s.Vecs[name] = VecSnapshot{Labels: append([]string(nil), ov.Labels...), Counts: append([]int64(nil), ov.Counts...)}
+			continue
+		}
+		if len(v.Counts) != len(ov.Counts) {
+			return fmt.Errorf("telemetry: merging vec %q with %d vs %d slots", name, len(ov.Counts), len(v.Counts))
+		}
+		for i := range ov.Counts {
+			v.Counts[i] += ov.Counts[i]
+		}
+		s.Vecs[name] = v
+	}
+	s.UptimeSeconds = math.Max(s.UptimeSeconds, o.UptimeSeconds)
+	return nil
+}
+
+// WriteMetrics renders the registry in the plain text /metrics format: one
+// `name value` line per counter and gauge, `name.count`, `name.sum` and
+// cumulative `name.le.<bound>` lines per histogram, and
+// `name{op="label"} value` lines for the non-zero slots of each counter
+// vector, all sorted by name. Derived values (lanes.utilization) are
+// appended when their inputs exist. Safe on a nil registry (writes only
+// the header).
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	for name, v := range s.Counters {
+		add("%s %d", name, v)
+	}
+	for name, v := range s.Gauges {
+		add("%s %g", name, v)
+	}
+	if slots := s.Counters["lanes.slots"]; slots > 0 {
+		add("lanes.utilization %g", float64(s.Counters["lanes.trials"])/float64(slots))
+	}
+	for name, h := range s.Histograms {
+		add("%s.count %d", name, h.Count)
+		add("%s.sum %g", name, h.Sum)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			add("%s.le.%g %d", name, b, cum)
+		}
+		add("%s.le.+Inf %d", name, h.Count)
+	}
+	for name, v := range s.Vecs {
+		for i, c := range v.Counts {
+			if c == 0 {
+				continue
+			}
+			label := fmt.Sprintf("%d", i)
+			if i < len(v.Labels) {
+				label = v.Labels[i]
+			}
+			add("%s{op=%q} %d", name, label, c)
+		}
+	}
+	sort.Strings(lines)
+	if _, err := fmt.Fprintf(w, "# revft metrics, uptime %.3fs\n", s.UptimeSeconds); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultReg is the process-wide registry, nil until SetDefault. Commands
+// enable it so code without a context (sim.MonteCarlo, the entropy and
+// von Neumann estimators) still reports; libraries and tests leave it nil.
+var defaultReg atomic.Pointer[Registry]
+
+// Default returns the process-wide registry, or nil when telemetry is
+// disabled.
+func Default() *Registry { return defaultReg.Load() }
+
+// SetDefault installs reg as the process-wide registry. Pass nil to
+// disable.
+func SetDefault(reg *Registry) { defaultReg.Store(reg) }
+
+// ctxKey is the context key for a registry.
+type ctxKey struct{}
+
+// NewContext returns a context carrying reg, which Active retrieves.
+func NewContext(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, reg)
+}
+
+// FromContext returns the registry attached to ctx, or nil.
+func FromContext(ctx context.Context) *Registry {
+	reg, _ := ctx.Value(ctxKey{}).(*Registry)
+	return reg
+}
+
+// Active resolves the registry instrumentation should use: the context's,
+// falling back to the process default. Returns nil when telemetry is off —
+// and every metric method tolerates that, so callers may use the result
+// unconditionally.
+func Active(ctx context.Context) *Registry {
+	if reg := FromContext(ctx); reg != nil {
+		return reg
+	}
+	return Default()
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace is a structured JSONL event sink. The first line of every trace is
+// the run manifest (`"type":"manifest"`); each later line is one event with
+// a type, a monotonic elapsed-seconds timestamp `t`, and event-specific
+// fields. Lines are written atomically under a mutex, so concurrent
+// emitters interleave whole lines, never fragments.
+//
+// Every method on a nil *Trace is a no-op, so instrumented code paths need
+// no "if tracing" guards. Write errors are sticky: the first one is kept
+// (Err) and later emits are dropped.
+type Trace struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	err   error
+}
+
+// NewTrace writes the manifest header line to w and returns the sink. The
+// caller retains ownership of w (and closes it, if it is a file) after the
+// final event.
+func NewTrace(w io.Writer, m *Manifest) (*Trace, error) {
+	t := &Trace{w: w, start: time.Now()}
+	header := struct {
+		Type string `json:"type"`
+		*Manifest
+	}{Type: "manifest", Manifest: m}
+	b, err := json.Marshal(header)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: marshal manifest: %w", err)
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return nil, fmt.Errorf("telemetry: write manifest: %w", err)
+	}
+	return t, nil
+}
+
+// Emit writes one event line of the given type. fields must be
+// JSON-encodable; the keys "type" and "t" are reserved and overwritten.
+// No-op on nil.
+func (t *Trace) Emit(typ string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		ev[k] = v
+	}
+	ev["type"] = typ
+	ev["t"] = time.Since(t.start).Seconds()
+	b, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = fmt.Errorf("telemetry: marshal %s event: %w", typ, err)
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = fmt.Errorf("telemetry: write %s event: %w", typ, err)
+	}
+}
+
+// EmitSnapshot writes a "metrics" event holding reg's full snapshot —
+// conventionally the final line of a run, so fault tallies and timing
+// distributions land next to the results they describe. No-op on nil.
+func (t *Trace) EmitSnapshot(reg *Registry) {
+	if t == nil {
+		return
+	}
+	t.Emit("metrics", map[string]any{"metrics": reg.Snapshot()})
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceJSONLWithManifestHeader(t *testing.T) {
+	var buf bytes.Buffer
+	m := Collect("test-tool")
+	m.Experiment = "recovery"
+	m.Engine = "lanes"
+	m.Seed = 7
+	tr, err := NewTrace(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("point_done", map[string]any{"point": 0, "trials": []int{100}})
+	reg := New()
+	reg.Counter("sim.trials").Add(100)
+	tr.EmitSnapshot(reg)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", len(lines), err)
+		}
+		lines = append(lines, ev)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if lines[0]["type"] != "manifest" {
+		t.Errorf("first line type = %v, want manifest", lines[0]["type"])
+	}
+	if lines[0]["experiment"] != "recovery" || lines[0]["engine"] != "lanes" {
+		t.Errorf("manifest fields missing: %v", lines[0])
+	}
+	if lines[0]["go_version"] == "" || lines[0]["gomaxprocs"] == nil {
+		t.Errorf("manifest runtime fields missing: %v", lines[0])
+	}
+	if lines[1]["type"] != "point_done" || lines[1]["point"] != float64(0) {
+		t.Errorf("event line = %v", lines[1])
+	}
+	if _, ok := lines[1]["t"].(float64); !ok {
+		t.Errorf("event has no numeric t: %v", lines[1])
+	}
+	if lines[2]["type"] != "metrics" {
+		t.Errorf("snapshot line type = %v", lines[2]["type"])
+	}
+	met := lines[2]["metrics"].(map[string]any)
+	if met["counters"].(map[string]any)["sim.trials"] != float64(100) {
+		t.Errorf("snapshot counters = %v", met["counters"])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestTraceStickyError(t *testing.T) {
+	fw := &failWriter{n: 1} // manifest succeeds, first event fails
+	tr, err := NewTrace(fw, Collect("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("a", nil)
+	if tr.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+	tr.Emit("b", nil) // dropped, must not panic
+	if !strings.Contains(tr.Err().Error(), "a event") {
+		t.Errorf("sticky error should name the first failing event: %v", tr.Err())
+	}
+}
+
+func TestManifestCollect(t *testing.T) {
+	m := Collect("revft-mc")
+	if m.Tool != "revft-mc" || m.GoVersion == "" || m.GOMAXPROCS < 1 || m.Git == "" {
+		t.Errorf("incomplete manifest: %+v", m)
+	}
+	if m.StartedAt.IsZero() {
+		t.Error("manifest StartedAt is zero")
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("sim.trials").Add(42)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + d.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(b)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "sim.trials 42") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["revft"]; !ok {
+		t.Error("/debug/vars missing revft snapshot")
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%.200s", out)
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	reg := New()
+	reg.Counter(TrialsMetric).Add(500)
+	reg.Gauge(ExpectedTrialsMetric).Set(1000)
+	var buf bytes.Buffer
+	stop := StartHeartbeat(&buf, reg, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	reg.Counter(TrialsMetric).Add(250)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "heartbeat: ") || !strings.Contains(out, "trials/s") {
+		t.Errorf("heartbeat output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "75.0%") {
+		t.Errorf("final heartbeat should report 750/1000 = 75.0%%:\n%s", out)
+	}
+	if !strings.Contains(out, "(done)") {
+		t.Errorf("stop() should print a final line:\n%s", out)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"revft/internal/rng"
+	"revft/internal/telemetry"
 )
 
 // Bundle is a redundant carrier of one logical bit: N wires, each 0 or 1.
@@ -176,6 +177,9 @@ func Threshold() float64 {
 // the faithful probe of the restoration threshold.
 func ChainErrorRate(u Unit, depth, trials int, seed uint64) float64 {
 	r := rng.New(seed)
+	// Nil-safe when telemetry is off; lets -progress heartbeats track this
+	// driver like the circuit engines.
+	tc := telemetry.Default().Counter(telemetry.TrialsMetric)
 	errors := 0
 	for t := 0; t < trials; t++ {
 		cur := NewBundle(u.N, true)
@@ -187,6 +191,7 @@ func ChainErrorRate(u Unit, depth, trials int, seed uint64) float64 {
 		if cur.Decode() != ideal {
 			errors++
 		}
+		tc.Inc()
 	}
 	return float64(errors) / float64(trials)
 }
