@@ -33,6 +33,12 @@
 //	-reltol 0.05          adaptive early stopping: per point, stop once every
 //	                      estimate's 95% Wilson half-width is at most reltol
 //	                      times its rate (floor 1000 trials, ceiling -trials)
+//	-zeroscale 1e-6       with -reltol: let a point with zero observed
+//	                      failures stop early once its 95% Wilson upper
+//	                      bound drops below reltol times this rate scale
+//	                      (without it, zero-success points always run to
+//	                      the ceiling, since their relative width is
+//	                      unbounded)
 //	-progress             sweep experiments: one line per completed point;
 //	                      other experiments: a heartbeat every 2s with
 //	                      trials done, trials/sec, and ETA
@@ -95,6 +101,7 @@ func run(args []string) error {
 		resume     = fs.Bool("resume", false, "resume from -checkpoint, skipping completed points")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the sweep experiments (0 = none)")
 		reltol     = fs.Float64("reltol", 0, "adaptive early stopping: target relative 95% CI half-width per point (0 = fixed -trials)")
+		zeroscale  = fs.Float64("zeroscale", 0, "with -reltol: let zero-success points stop once their 95% CI upper bound is below reltol times this rate scale (0 = run such points to the ceiling)")
 		progress   = fs.Bool("progress", false, "print progress to stderr: per-point lines for sweep experiments, a trials/sec heartbeat otherwise")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this host:port while the run is live")
 		traceFile  = fs.String("trace", "", "write a JSONL event trace (manifest header, sweep events, final metrics snapshot) to this file")
@@ -107,6 +114,35 @@ func run(args []string) error {
 	case exp.EngineScalar, exp.EngineLanes:
 	default:
 		return fmt.Errorf("unknown engine %q (want scalar or lanes)", *engine)
+	}
+	// Validate everything flag-reachable here so bad values come back as
+	// usage errors, never as library panics.
+	switch {
+	case *trials < 1:
+		return fmt.Errorf("-trials %d: need at least 1", *trials)
+	case *workers < 0:
+		return fmt.Errorf("-workers %d: need 0 (= GOMAXPROCS) or more", *workers)
+	case *gmin <= 0 || *gmax <= 0:
+		return fmt.Errorf("-gmin %v, -gmax %v: gate error rates must be positive", *gmin, *gmax)
+	case *gmax > 1:
+		return fmt.Errorf("-gmax %v: gate error rate cannot exceed 1", *gmax)
+	case *gmin > *gmax:
+		return fmt.Errorf("-gmin %v exceeds -gmax %v", *gmin, *gmax)
+	case *points < 1:
+		return fmt.Errorf("-points %d: need at least 1", *points)
+	case *points == 1 && *gmin != *gmax:
+		return fmt.Errorf("-points 1 needs -gmin == -gmax (got %v, %v)", *gmin, *gmax)
+	case *maxLevel < 0:
+		return fmt.Errorf("-maxlevel %d: need 0 or more", *maxLevel)
+	case *bits < 1 || 2*(*bits)+2 > 64:
+		return fmt.Errorf("-bits %d: adder needs 1..31 (state width 2n+2 must fit in 64)", *bits)
+	case *reltol < 0:
+		return fmt.Errorf("-reltol %v: need 0 (off) or positive", *reltol)
+	case *zeroscale < 0:
+		return fmt.Errorf("-zeroscale %v: need 0 (off) or positive", *zeroscale)
+	}
+	if *zeroscale > 0 && *reltol == 0 {
+		return errors.New("-zeroscale requires -reltol")
 	}
 	p := exp.MCParams{Trials: *trials, Workers: *workers, Seed: *seed, Engine: *engine}
 	gs := stats.LogSpace(*gmin, *gmax, *points)
@@ -122,6 +158,7 @@ func run(args []string) error {
 			"-resume":     *resume,
 			"-timeout":    *timeout != 0,
 			"-reltol":     *reltol != 0,
+			"-zeroscale":  *zeroscale != 0,
 		} {
 			if set {
 				return fmt.Errorf("%s only applies to the sweep experiments (recovery, levels, local, adder), not %q", name, *expName)
@@ -186,6 +223,7 @@ func run(args []string) error {
 			Checkpoint: *checkpoint,
 			Resume:     *resume,
 			RelTol:     *reltol,
+			ZeroScale:  *zeroscale,
 			Metrics:    reg,
 			Trace:      tr,
 			Manifest:   man,

@@ -12,12 +12,32 @@
 //     parallel 2D and 1D failing only on data-crossing routing ops);
 //   - footnote 4's entropy values (3/2 bits via MAJ⁻¹, 2 bits via Toffoli).
 //
+// Two flags extend the suite beyond the seed checks:
+//
+//	-exact         add the fault-enumeration oracle checks: full enumeration
+//	               of the Figure 2 recovery (A₀ = A₁ = 0 proven over all
+//	               2·9⁸ fault patterns, A₂ pinned to the exact rational
+//	               71/32), the level-1 gadget's A₂ against the independent
+//	               pair enumeration and against Eq. 1's 3·C(G,2) bound, and
+//	               a closed-form NOT-chain cross-check
+//	-differential  run both Monte Carlo engines (scalar and 64-lane) against
+//	               the oracle's exact P(ε) on the recovery and the level-1
+//	               MAJ gadget, failing if any estimate's 3σ Wilson interval
+//	               misses the exact value; -trials, -workers, and -seed
+//	               control the runs
+//	-trace f.jsonl write a JSONL event stream: a manifest header, one event
+//	               per check, one per (ε, engine) differential verdict, and
+//	               a closing summary
+//
 // Exit status is nonzero if any check fails.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"math"
+	"math/big"
 	"os"
 
 	"revft/internal/bitvec"
@@ -25,12 +45,15 @@ import (
 	"revft/internal/code"
 	"revft/internal/cooling"
 	"revft/internal/core"
+	"revft/internal/exact"
+	"revft/internal/exp"
 	"revft/internal/gate"
 	"revft/internal/irrev"
 	"revft/internal/lattice"
 	"revft/internal/noise"
 	"revft/internal/sim"
 	"revft/internal/synth"
+	"revft/internal/telemetry"
 	"revft/internal/threshold"
 )
 
@@ -40,20 +63,198 @@ type check struct {
 }
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "revft-verify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("revft-verify", flag.ContinueOnError)
+	var (
+		exactMode    = fs.Bool("exact", false, "add the exhaustive fault-enumeration oracle checks")
+		differential = fs.Bool("differential", false, "verify both Monte Carlo engines against the exact oracle (3σ Wilson)")
+		trials       = fs.Int("trials", 200000, "Monte Carlo trials per (ε, engine) differential point")
+		workers      = fs.Int("workers", 0, "parallel workers for the differential runs (0 = GOMAXPROCS)")
+		seed         = fs.Uint64("seed", 7, "base random seed for the differential runs")
+		traceFile    = fs.String("trace", "", "write a JSONL event trace (manifest, per-check and per-verdict events) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials %d: need at least 1", *trials)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: need 0 (= GOMAXPROCS) or more", *workers)
+	}
+
+	var tr *telemetry.Trace
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		man := telemetry.Collect("revft-verify")
+		man.Seed = *seed
+		man.Trials = *trials
+		man.Workers = *workers
+		if tr, err = telemetry.NewTrace(f, man); err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+	}
+
+	cs := checks()
+	if *exactMode {
+		cs = append(cs, exactChecks()...)
+	}
 	failed := 0
-	for _, c := range checks() {
-		if err := c.run(); err != nil {
+	for _, c := range cs {
+		err := c.run()
+		if tr != nil {
+			fields := map[string]any{"name": c.name, "ok": err == nil}
+			if err != nil {
+				fields["error"] = err.Error()
+			}
+			tr.Emit("check", fields)
+		}
+		if err != nil {
 			fmt.Printf("FAIL  %-58s %v\n", c.name, err)
 			failed++
 		} else {
 			fmt.Printf("PASS  %s\n", c.name)
 		}
 	}
+	if *differential {
+		bad, err := runDifferential(exp.MCParams{Trials: *trials, Workers: *workers, Seed: *seed}, tr)
+		if err != nil {
+			return err
+		}
+		failed += bad
+	}
+	if tr != nil {
+		tr.Emit("run_done", map[string]any{"ok": failed == 0, "failed": failed})
+		if err := tr.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "revft-verify: trace %s: %v\n", *traceFile, err)
+		}
+	}
 	if failed > 0 {
-		fmt.Printf("\n%d check(s) failed\n", failed)
-		os.Exit(1)
+		return fmt.Errorf("%d check(s) failed", failed)
 	}
 	fmt.Println("\nall checks passed")
+	return nil
+}
+
+// exactChecks are the fault-enumeration oracle checks behind -exact: the
+// deterministic, exhaustive claims about the fault polynomial itself.
+func exactChecks() []check {
+	return []check{
+		{"Oracle: recovery full enumeration — A₁ = 0, A₂ = 71/32 exactly", checkOracleRecovery},
+		{"Oracle: gadget A₂ matches pair enumeration, ≤ 3·C(G,2)", checkOracleGadget},
+		{"Oracle: NOT-chain matches closed form (1−(1−ε)^N)/2", checkOracleNOTChain},
+	}
+}
+
+// checkOracleRecovery runs the full 2·9⁸-leaf enumeration of the Figure 2
+// recovery: every fault pattern of every weight, exactly once. A₀ = A₁ = 0
+// is the exhaustive single-fault-tolerance proof; A₂ is pinned to the exact
+// rational the oracle extracts, and stays under Eq. 1's all-pairs bound.
+func checkOracleRecovery() error {
+	p, err := exact.Enumerate(exact.Recovery(), exact.Options{})
+	if err != nil {
+		return err
+	}
+	if !p.SingleFaultTolerant() {
+		return fmt.Errorf("%d zero-fault and %d single-fault failure patterns",
+			p.FailurePatterns(0), p.FailurePatterns(1))
+	}
+	if got, want := p.Coeff(2), big.NewRat(71, 32); got.Cmp(want) != 0 {
+		return fmt.Errorf("A₂ = %v, want %v", got, want)
+	}
+	if bound := 3 * threshold.Choose(core.RecoveryOps, 2); p.CoeffFloat(2) > bound {
+		return fmt.Errorf("A₂ = %v exceeds 3·C(%d,2) = %v", p.CoeffFloat(2), core.RecoveryOps, bound)
+	}
+	return nil
+}
+
+// checkOracleGadget cross-validates the oracle's weight-2 coefficient of
+// the complete level-1 MAJ gadget against core.QuadraticCoefficient — an
+// independent pair-enumeration that shares no code with the oracle's DFS —
+// and against the paper's 3·C(G,2) relaxation.
+func checkOracleGadget() error {
+	g := core.NewGadget(gate.MAJ, 1)
+	p, err := exact.Enumerate(exact.Gadget(g), exact.Options{MaxWeight: 2})
+	if err != nil {
+		return err
+	}
+	if !p.SingleFaultTolerant() {
+		return fmt.Errorf("%d zero-fault and %d single-fault failure patterns",
+			p.FailurePatterns(0), p.FailurePatterns(1))
+	}
+	c2 := g.QuadraticCoefficient()
+	if got := p.CoeffFloat(2); math.Abs(got-c2) > 1e-9 {
+		return fmt.Errorf("oracle A₂ = %v, pair enumeration c₂ = %v", got, c2)
+	}
+	if bound := 3 * threshold.Choose(threshold.GNonLocalInit, 2); p.CoeffFloat(2) > bound {
+		return fmt.Errorf("A₂ = %v exceeds 3·C(G,2) = %v", p.CoeffFloat(2), bound)
+	}
+	return nil
+}
+
+// checkOracleNOTChain pins the oracle against a closed form derivable by
+// hand: in a chain of N NOTs on one wire only the last fault survives, and
+// it is wrong with probability 1/2, so P(ε) = (1 − (1−ε)^N)/2.
+func checkOracleNOTChain() error {
+	const n = 6
+	c := circuit.New(1)
+	for i := 0; i < n; i++ {
+		c.NOT(0)
+	}
+	p, err := exact.Enumerate(exact.Plain("not-chain", c), exact.Options{})
+	if err != nil {
+		return err
+	}
+	for _, eps := range []float64{0, 1e-3, 0.1, 0.5, 1} {
+		want := (1 - math.Pow(1-eps, n)) / 2
+		if got := p.Eval(eps); math.Abs(got-want) > 1e-12 {
+			return fmt.Errorf("P(%v) = %v, want %v", eps, got, want)
+		}
+	}
+	return nil
+}
+
+// runDifferential checks both Monte Carlo engines against the oracle on
+// two targets — the recovery with its fully enumerated polynomial, and the
+// level-1 MAJ gadget with a weight-3 truncation whose tail bound widens
+// the acceptance interval — and prints the verdict tables. It returns the
+// number of (ε, engine) disagreements.
+func runDifferential(p exp.MCParams, tr *telemetry.Trace) (int, error) {
+	fmt.Println()
+	bad := 0
+	runs := []struct {
+		target exact.Target
+		opts   exact.Options
+		eps    []float64
+	}{
+		{exact.Recovery(), exact.Options{}, []float64{1e-3, 1e-2, 5e-2, 0.2}},
+		{exact.Gadget(core.NewGadget(gate.MAJ, 1)), exact.Options{MaxWeight: 3}, []float64{1e-3, 3e-3, 1e-2}},
+	}
+	for i, r := range runs {
+		poly, err := exact.Enumerate(r.target, r.opts)
+		if err != nil {
+			return bad, fmt.Errorf("%s: %w", r.target.Name, err)
+		}
+		pts, err := exp.Differential(context.Background(), r.target, poly, r.eps,
+			exp.MCParams{Trials: p.Trials, Workers: p.Workers, Seed: p.Seed + uint64(1000*i)}, tr)
+		if err != nil {
+			return bad, fmt.Errorf("%s: %w", r.target.Name, err)
+		}
+		tab, n := exp.DifferentialTable(r.target, poly, pts)
+		fmt.Println(tab.Format())
+		bad += n
+	}
+	return bad, nil
 }
 
 func checks() []check {
@@ -331,7 +532,11 @@ func checkG40() error {
 func checkThresholds() error {
 	want := map[int]float64{11: 165, 9: 108, 16: 360, 14: 273, 40: 2340, 38: 2109}
 	for g, denom := range want {
-		if got := 1 / threshold.Threshold(g); math.Abs(got-denom) > 1e-6 {
+		rho, err := threshold.Threshold(g)
+		if err != nil {
+			return fmt.Errorf("G=%d: %v", g, err)
+		}
+		if got := 1 / rho; math.Abs(got-denom) > 1e-6 {
 			return fmt.Errorf("G=%d: 1/ρ = %v, want %v", g, got, denom)
 		}
 	}
@@ -349,7 +554,7 @@ func checkTable2() error {
 }
 
 func checkWorkedExample() error {
-	rho := threshold.Threshold(threshold.GNonLocal)
+	rho := threshold.MustThreshold(threshold.GNonLocal)
 	l, err := threshold.RequiredLevels(1e6, rho/10, threshold.GNonLocal)
 	if err != nil || l != 2 {
 		return fmt.Errorf("RequiredLevels = %d, %v", l, err)

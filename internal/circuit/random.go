@@ -1,0 +1,39 @@
+package circuit
+
+import (
+	"fmt"
+
+	"revft/internal/gate"
+	"revft/internal/rng"
+)
+
+// Random returns a deterministic pseudo-random circuit of nops gates on
+// width wires, drawn from r: each op picks a uniform kind from kinds
+// (filtered to those whose arity fits the width) and uniform distinct
+// target wires. A nil kinds slice selects the full gate set, including the
+// irreversible Init3.
+//
+// The generator exists for property-based differential testing — pitting
+// the scalar engine, the lanes engine, and the exact oracle against each
+// other on circuits nobody hand-picked — so determinism for a fixed
+// (seed, width, nops, kinds) is part of its contract.
+func Random(r *rng.RNG, width, nops int, kinds []gate.Kind) *Circuit {
+	if kinds == nil {
+		kinds = gate.Kinds()
+	}
+	var fits []gate.Kind
+	for _, k := range kinds {
+		if k.Arity() <= width {
+			fits = append(fits, k)
+		}
+	}
+	if len(fits) == 0 {
+		panic(fmt.Sprintf("circuit: Random has no gate kind of arity <= width %d", width))
+	}
+	c := New(width)
+	for i := 0; i < nops; i++ {
+		k := fits[r.Intn(len(fits))]
+		c.Append(k, r.Perm(width)[:k.Arity()]...)
+	}
+	return c
+}

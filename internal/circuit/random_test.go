@@ -1,0 +1,49 @@
+package circuit
+
+import (
+	"testing"
+
+	"revft/internal/gate"
+	"revft/internal/rng"
+)
+
+func TestRandomDeterministicAndValid(t *testing.T) {
+	a := Random(rng.New(42), 5, 20, nil)
+	b := Random(rng.New(42), 5, 20, nil)
+	if a.Len() != 20 || a.Width() != 5 {
+		t.Fatalf("got %d ops on %d wires", a.Len(), a.Width())
+	}
+	for i := 0; i < a.Len(); i++ {
+		x, y := a.Op(i), b.Op(i)
+		if x.String() != y.String() {
+			t.Fatalf("op %d differs between identical seeds: %s vs %s", i, x, y)
+		}
+	}
+	if c := Random(rng.New(1), 7, 20, nil); c.Op(0).String() == a.Op(0).String() &&
+		c.Op(1).String() == a.Op(1).String() && c.Op(2).String() == a.Op(2).String() {
+		t.Fatal("different seeds produced the same leading ops")
+	}
+}
+
+func TestRandomRespectsWidthAndKinds(t *testing.T) {
+	// Width 1 admits only NOT from the full set.
+	c := Random(rng.New(3), 1, 10, nil)
+	for i := 0; i < c.Len(); i++ {
+		if k := c.Op(i).Kind; k != gate.NOT {
+			t.Fatalf("width-1 circuit contains %s", k)
+		}
+	}
+	// An explicit kind list is honored.
+	c = Random(rng.New(3), 4, 10, []gate.Kind{gate.CNOT})
+	for i := 0; i < c.Len(); i++ {
+		if k := c.Op(i).Kind; k != gate.CNOT {
+			t.Fatalf("CNOT-only circuit contains %s", k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no-fitting-kind did not panic")
+		}
+	}()
+	Random(rng.New(1), 1, 1, []gate.Kind{gate.MAJ})
+}

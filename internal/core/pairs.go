@@ -3,7 +3,6 @@ package core
 import (
 	"revft/internal/bitvec"
 	"revft/internal/code"
-	"revft/internal/noise"
 	"revft/internal/sim"
 )
 
@@ -28,8 +27,11 @@ func (g *Gadget) QuadraticCoefficient() float64 {
 
 	total := 0.0
 	st := bitvec.New(g.Circuit.Width())
+	var ops [2]int
+	var vals [2]uint64
 	for i := 0; i < nOps; i++ {
 		for j := i + 1; j < nOps; j++ {
+			ops[0], ops[1] = i, j
 			vi := uint64(1) << uint(arity[i])
 			vj := uint64(1) << uint(arity[j])
 			fails := 0
@@ -41,7 +43,8 @@ func (g *Gadget) QuadraticCoefficient() float64 {
 						for k, wires := range g.In {
 							code.EncodeInto(st, wires, in>>uint(k)&1 == 1, g.Level)
 						}
-						sim.RunInjected(g.Circuit, st, noise.Plan{i: a, j: b})
+						vals[0], vals[1] = a, b
+						sim.RunInjectedList(g.Circuit, st, ops[:], vals[:])
 						for k, wires := range g.Out {
 							if code.Decode(st, wires, g.Level) != (want>>uint(k)&1 == 1) {
 								fails++
@@ -71,10 +74,13 @@ func (g *Gadget) MalignantPairs() (malignant, total int) {
 	nin := uint64(1) << uint(len(g.In))
 
 	st := bitvec.New(g.Circuit.Width())
+	var ops [2]int
+	var vals [2]uint64
 	for i := 0; i < nOps; i++ {
 	pair:
 		for j := i + 1; j < nOps; j++ {
 			total++
+			ops[0], ops[1] = i, j
 			vi := uint64(1) << uint(arity[i])
 			vj := uint64(1) << uint(arity[j])
 			for in := uint64(0); in < nin; in++ {
@@ -85,7 +91,8 @@ func (g *Gadget) MalignantPairs() (malignant, total int) {
 						for k, wires := range g.In {
 							code.EncodeInto(st, wires, in>>uint(k)&1 == 1, g.Level)
 						}
-						sim.RunInjected(g.Circuit, st, noise.Plan{i: a, j: b})
+						vals[0], vals[1] = a, b
+						sim.RunInjectedList(g.Circuit, st, ops[:], vals[:])
 						for k, wires := range g.Out {
 							if code.Decode(st, wires, g.Level) != (want>>uint(k)&1 == 1) {
 								malignant++

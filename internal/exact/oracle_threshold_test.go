@@ -1,0 +1,58 @@
+package exact
+
+import (
+	"testing"
+
+	"revft/internal/core"
+	"revft/internal/gate"
+	"revft/internal/threshold"
+)
+
+// These tests pin the analytic model in internal/threshold against the
+// oracle's exact one-level polynomial for the complete level-1 MAJ gadget.
+// Both bounds in the chain are deterministic, so the assertions are exact
+// relations, not statistical ones:
+//
+//	oracle P(ε) ≤ ExactLogicalRate(ε, G) ≤ LogicalBound(ε, G)
+//
+// — the true failure probability under the paper's model, the tighter
+// binomial-tail bound the paper mentions, and Equation 1's double
+// relaxation, in that order.
+
+func TestAnalyticBoundsDominateOracle(t *testing.T) {
+	poly, err := Enumerate(Gadget(core.NewGadget(gate.MAJ, 1)), Options{MaxWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = threshold.GNonLocalInit
+	for _, eps := range []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2} {
+		_, hi := poly.Bounds(eps) // upper bound: every unenumerated pattern fails
+		exact := threshold.ExactLogicalRate(eps, g)
+		bound := threshold.LogicalBound(eps, g)
+		if hi > exact {
+			t.Errorf("ε=%v: oracle P ≤ %v exceeds ExactLogicalRate = %v", eps, hi, exact)
+		}
+		if exact > bound {
+			t.Errorf("ε=%v: ExactLogicalRate = %v exceeds Equation 1 bound = %v", eps, exact, bound)
+		}
+	}
+}
+
+// TestThresholdOrdering: each tightening of the analysis moves the implied
+// threshold up. Equation 1's ρ = 1/(3·C(G,2)), the exact-recursion
+// threshold, and the oracle's pseudo-threshold 1/A₂ must be strictly
+// ordered — the measured quadratic coefficient (A₂ = 825/64 ≈ 12.9 versus
+// the assumed 3·C(11,2) = 165) is where the slack comes from.
+func TestThresholdOrdering(t *testing.T) {
+	poly, err := Enumerate(Gadget(core.NewGadget(gate.MAJ, 1)), Options{MaxWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = threshold.GNonLocalInit
+	rho := threshold.MustThreshold(g)
+	exact := threshold.ExactThreshold(g)
+	pseudo := 1 / poly.CoeffFloat(2)
+	if !(rho < exact && exact < pseudo) {
+		t.Fatalf("want ρ < exact < 1/A₂, got %v, %v, %v", rho, exact, pseudo)
+	}
+}

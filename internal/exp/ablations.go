@@ -82,7 +82,7 @@ func ExactThresholds() *Table {
 		{"1D, accurate init", threshold.G1D},
 	}
 	for _, r := range rows {
-		rho := threshold.Threshold(r.g)
+		rho := threshold.MustThreshold(r.g)
 		exact := threshold.ExactThreshold(r.g)
 		t.AddRow(r.name, r.g, rho, exact, exact/rho)
 	}
@@ -200,7 +200,7 @@ func PairAnalysis() *Table {
 	bound := 3 * threshold.Choose(threshold.GNonLocalInit, 2)
 	t.AddRow("quadratic coefficient c₂ (g_logical ≈ c₂·g²)", bound, c2)
 	t.AddRow("malignant op pairs", total, malignant)
-	t.AddRow("implied pseudo-threshold 1/c₂", threshold.Threshold(threshold.GNonLocalInit), 1/c2)
+	t.AddRow("implied pseudo-threshold 1/c₂", threshold.MustThreshold(threshold.GNonLocalInit), 1/c2)
 	t.AddNote("only %d of %d op pairs can cause a logical error at all, and most of those only for some fault values; "+
 		"the exact pseudo-threshold 1/c₂ ≈ %.3f explains why Monte Carlo sees the crossover an order of magnitude above ρ = 1/165",
 		malignant, total, 1/c2)

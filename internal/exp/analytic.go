@@ -74,11 +74,11 @@ func Thresholds() *Table {
 		{"1D near-neighbor, accurate init (§3.2)", threshold.G1D, "1/2109"},
 	}
 	for _, r := range rows {
-		rho := threshold.Threshold(r.g)
+		rho := threshold.MustThreshold(r.g)
 		t.AddRow(r.name, r.g, r.paper, rho, math.Round(1/rho))
 	}
 	t.AddNote("2D threshold with accurate initialization ≈ %.2f%% (paper: \"approximately 0.4%%\")",
-		100*threshold.Threshold(threshold.G2D))
+		100*threshold.MustThreshold(threshold.G2D))
 	return t
 }
 
@@ -107,7 +107,7 @@ func Blowup() *Table {
 		Title:  "Circuit blowup vs module size (§2.3), G = 9, g = ρ/10",
 		Header: []string{"T (gates)", "Required L", "Gate blowup Γ_L", "Bit blowup S_L", "g_L bound"},
 	}
-	g := threshold.Threshold(threshold.GNonLocal) / 10
+	g := threshold.MustThreshold(threshold.GNonLocal) / 10
 	for _, T := range []float64{1e3, 1e4, 1e6, 1e9, 1e12} {
 		l, err := threshold.RequiredLevels(T, g, threshold.GNonLocal)
 		if err != nil {
@@ -230,9 +230,9 @@ func VonNeumannBaseline() *Table {
 	t.AddRow("restoration-map bistability threshold", th)
 	t.AddRow("classic NAND bound (3−√7)/4", (3-math.Sqrt(7))/4)
 	t.AddRow("paper's quoted figure for multiplexing", "about 11%")
-	t.AddRow("reversible MAJ scheme threshold (G = 9)", threshold.Threshold(threshold.GNonLocal))
+	t.AddRow("reversible MAJ scheme threshold (G = 9)", threshold.MustThreshold(threshold.GNonLocal))
 	t.AddNote("the reversible scheme's threshold is ~%.0fx below the irreversible NAND-multiplexing baseline — "+
-		"the price of reversibility the paper quantifies", th/threshold.Threshold(threshold.GNonLocal))
+		"the price of reversibility the paper quantifies", th/threshold.MustThreshold(threshold.GNonLocal))
 	return t
 }
 

@@ -40,6 +40,11 @@ type SweepOptions struct {
 	// estimate; zero values default to min(1000, ceiling) and Trials.
 	MinTrials int
 	MaxTrials int
+	// ZeroScale, when positive, lets zero-success points stop early once
+	// their 95% Wilson upper bound is at most RelTol·ZeroScale; see
+	// sweep.StopRule.ZeroScale. 0 keeps zero-success points running to
+	// the ceiling.
+	ZeroScale float64
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
 	// Metrics, when non-nil, collects the run's counters and histograms;
@@ -103,7 +108,7 @@ func sweepSpec(experiment string, grid []float64, points int, p MCParams, o Swee
 		Seed:       p.Seed,
 		Engine:     p.engineName(),
 		Extra:      extra,
-		Stop:       sweep.StopRule{RelTol: o.RelTol, MinTrials: o.MinTrials, MaxTrials: o.MaxTrials},
+		Stop:       sweep.StopRule{RelTol: o.RelTol, MinTrials: o.MinTrials, MaxTrials: o.MaxTrials, ZeroScale: o.ZeroScale},
 	}
 }
 

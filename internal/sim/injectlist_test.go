@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"revft/internal/bitvec"
+	"revft/internal/circuit"
+	"revft/internal/noise"
+	"revft/internal/rng"
+)
+
+// TestRunInjectedListMatchesPlan: the allocation-free list runner must be
+// bit-identical to the map-based RunInjected on random circuits and random
+// injection sets of every size.
+func TestRunInjectedListMatchesPlan(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		width := 2 + r.Intn(5)
+		c := circuit.Random(r, width, 1+r.Intn(8), nil)
+		nInj := r.Intn(3 + 1)
+		if nInj > c.Len() {
+			nInj = c.Len()
+		}
+		perm := r.Perm(c.Len())[:nInj]
+		// Sort the chosen op indices (insertion sort; nInj <= 3).
+		for i := 1; i < len(perm); i++ {
+			for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+				perm[j], perm[j-1] = perm[j-1], perm[j]
+			}
+		}
+		plan := noise.Plan{}
+		vals := make([]uint64, nInj)
+		for i, op := range perm {
+			vals[i] = r.Bits(c.Op(op).Kind.Arity())
+			plan[op] = vals[i]
+		}
+		in := r.Bits(width)
+
+		want := bitvec.FromUint(in, width)
+		RunInjected(c, want, plan)
+		got := bitvec.FromUint(in, width)
+		RunInjectedList(c, got, perm, vals)
+		if got.Uint(0, width) != want.Uint(0, width) {
+			t.Fatalf("trial %d: list %0*b, plan %0*b", trial, width, got.Uint(0, width), width, want.Uint(0, width))
+		}
+	}
+}
+
+func TestRunInjectedListPanics(t *testing.T) {
+	c := circuit.New(2).CNOT(0, 1)
+	for name, f := range map[string]func(){
+		"length mismatch": func() {
+			RunInjectedList(c, bitvec.New(2), []int{0}, nil)
+		},
+		"unsorted ops": func() {
+			c2 := circuit.New(2).CNOT(0, 1).NOT(0)
+			RunInjectedList(c2, bitvec.New(2), []int{1, 0}, []uint64{0, 0})
+		},
+		"out of range": func() {
+			RunInjectedList(c, bitvec.New(2), []int{5}, []uint64{0})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

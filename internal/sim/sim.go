@@ -17,6 +17,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 
 	"revft/internal/bitvec"
 	"revft/internal/circuit"
@@ -66,6 +67,30 @@ func RunInjected(c *circuit.Circuit, st *bitvec.Vector, plan noise.Plan) {
 			setLocal(st, targets, v)
 		}
 	})
+}
+
+// RunInjectedList is RunInjected without the map: ops lists the faulted op
+// indices in strictly increasing order and vals the corresponding local
+// values. The exhaustive enumerations (core's pair analysis, the exact
+// oracle's cross-checks) execute millions of planned injections, where a
+// map allocation per run would dominate; this form allocates nothing.
+// It panics if ops and vals differ in length or ops is not strictly
+// increasing — those are programming errors in enumeration loops.
+func RunInjectedList(c *circuit.Circuit, st *bitvec.Vector, ops []int, vals []uint64) {
+	if len(ops) != len(vals) {
+		panic(fmt.Sprintf("sim: RunInjectedList got %d ops but %d values", len(ops), len(vals)))
+	}
+	next := 0
+	c.Each(func(i int, k gate.Kind, targets []int) {
+		k.Apply(st, targets...)
+		if next < len(ops) && ops[next] == i {
+			setLocal(st, targets, vals[next])
+			next++
+		}
+	})
+	if next != len(ops) {
+		panic(fmt.Sprintf("sim: RunInjectedList applied %d of %d injections (ops not strictly increasing and in range?)", next, len(ops)))
+	}
 }
 
 // randomize replaces the named bits with fresh uniform random values.

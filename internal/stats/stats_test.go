@@ -183,3 +183,37 @@ func TestBernoulliString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestWilsonDegenerateZ(t *testing.T) {
+	// z = 0 collapses the interval to the point estimate — the limit the
+	// score interval must hit exactly, not approximately.
+	for _, b := range []Bernoulli{
+		{Trials: 100, Successes: 0},
+		{Trials: 100, Successes: 37},
+		{Trials: 100, Successes: 100},
+	} {
+		lo, hi := b.Wilson(0)
+		if lo != b.Rate() || hi != b.Rate() {
+			t.Errorf("%d/%d: Wilson(0) = [%v, %v], want the point %v", b.Successes, b.Trials, lo, hi, b.Rate())
+		}
+	}
+	// n = 0 stays totally uncertain regardless of z.
+	if lo, hi := (Bernoulli{}).Wilson(0); lo != 0 || hi != 1 {
+		t.Errorf("empty Wilson(0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+func TestWilsonZeroSuccessClosedForm(t *testing.T) {
+	// With zero successes the score interval has the closed form
+	// hi = z²/(n+z²) — the exact version of the rule of three. The
+	// zero-success early-stop branch in internal/sweep leans on this.
+	for _, n := range []int{10, 500, 100000} {
+		for _, z := range []float64{1.96, 3} {
+			_, hi := (Bernoulli{Trials: n}).Wilson(z)
+			want := z * z / (float64(n) + z*z)
+			if math.Abs(hi-want) > 1e-15 {
+				t.Errorf("n=%d z=%v: hi = %v, want z²/(n+z²) = %v", n, z, hi, want)
+			}
+		}
+	}
+}

@@ -41,46 +41,94 @@ type StopRule struct {
 	MinTrials int `json:"min_trials"`
 	// MaxTrials is the ceiling; <= 0 selects Spec.Trials.
 	MaxTrials int `json:"max_trials"`
+	// ZeroScale, when positive, lets zero-success estimates converge too:
+	// such an estimate is accepted once its 95% Wilson upper bound (the
+	// rule-of-three regime, ≈ 3.84/n for large n) is at most
+	// RelTol·ZeroScale. Set it to the smallest rate the sweep point could
+	// plausibly have — e.g. the analytic bound ρ·(g/ρ)^(2^L) — so "zero
+	// observed failures" stops once the data excludes anything detectably
+	// above that scale. Zero (the default) keeps the old behavior:
+	// zero-success points run to the ceiling. The field is omitted from
+	// the JSON encoding when zero so existing checkpoint digests are
+	// unchanged.
+	ZeroScale float64 `json:"zero_scale,omitempty"`
 }
+
+// Branch labels for ConvergedBranch and the early_stop trace event.
+const (
+	// BranchRelative marks convergence by the relative half-width test.
+	BranchRelative = "relative"
+	// BranchZeroAbsolute marks convergence of a zero-success estimate by
+	// the absolute rule-of-three test against RelTol·ZeroScale.
+	BranchZeroAbsolute = "zero-absolute"
+)
 
 // Enabled reports whether adaptive early stopping is on.
 func (s StopRule) Enabled() bool { return s.RelTol > 0 }
 
-// Converged reports whether every estimate satisfies the relative
-// tolerance. An estimate with zero successes never converges — its
-// relative width is unbounded — so all-zero points run to the ceiling.
+// Converged reports whether every estimate satisfies the stop rule; see
+// ConvergedBranch.
 func (s StopRule) Converged(ests []stats.Bernoulli) bool {
+	ok, _ := s.ConvergedBranch(ests)
+	return ok
+}
+
+// ConvergedBranch reports whether every estimate satisfies the rule, and
+// which branch decided it: BranchRelative when every estimate passed the
+// relative half-width test, BranchZeroAbsolute when at least one
+// zero-success estimate was accepted by the absolute fallback. An
+// estimate with zero successes has unbounded relative width; it converges
+// only via the ZeroScale fallback, so with ZeroScale disabled all-zero
+// points run to the ceiling. On non-convergence the branch is "".
+func (s StopRule) ConvergedBranch(ests []stats.Bernoulli) (bool, string) {
 	if len(ests) == 0 {
-		return false
+		return false, ""
 	}
+	branch := BranchRelative
 	for _, e := range ests {
 		if e.Successes == 0 {
-			return false
+			if s.ZeroScale <= 0 {
+				return false, ""
+			}
+			if _, hi := e.Wilson(1.96); hi > s.RelTol*s.ZeroScale {
+				return false, ""
+			}
+			branch = BranchZeroAbsolute
+			continue
 		}
 		lo, hi := e.Wilson(1.96)
 		if (hi-lo)/2 > s.RelTol*e.Rate() {
-			return false
+			return false, ""
 		}
 	}
-	return true
+	return true, branch
 }
 
 // MaxRelHalfWidth returns the loosest estimate's ratio of 95% Wilson
 // half-width to rate — the quantity Converged compares against RelTol,
 // reported in telemetry so every early-stop decision records the width
-// that triggered it. Estimates with zero successes (or an empty slice)
-// yield math.Inf(1).
+// that triggered it. A zero-success estimate contributes its Wilson upper
+// bound divided by ZeroScale (the quantity the fallback branch compares
+// against RelTol) when ZeroScale is set, and math.Inf(1) otherwise; an
+// empty slice yields math.Inf(1).
 func (s StopRule) MaxRelHalfWidth(ests []stats.Bernoulli) float64 {
 	if len(ests) == 0 {
 		return math.Inf(1)
 	}
 	max := 0.0
 	for _, e := range ests {
+		var rel float64
 		if e.Successes == 0 {
-			return math.Inf(1)
+			if s.ZeroScale <= 0 {
+				return math.Inf(1)
+			}
+			_, hi := e.Wilson(1.96)
+			rel = hi / s.ZeroScale
+		} else {
+			lo, hi := e.Wilson(1.96)
+			rel = (hi - lo) / 2 / e.Rate()
 		}
-		lo, hi := e.Wilson(1.96)
-		if rel := (hi - lo) / 2 / e.Rate(); rel > max {
+		if rel > max {
 			max = rel
 		}
 	}
@@ -436,15 +484,16 @@ func (r *Runner) runPoint(ctx context.Context, pt int) (PointResult, error) {
 			return p, err
 		}
 		ran += n
-		if ran >= floor && ran < ceiling && rule.Converged(p.Ests) {
+		if ok, branch := rule.ConvergedBranch(p.Ests); ok && ran >= floor && ran < ceiling {
 			p.Stopped = true
 			if r.Metrics != nil {
 				r.Metrics.Counter("sweep.early_stops").Inc()
 			}
-			// Record the Wilson half-width that let the rule fire, so every
-			// early-stop decision in the trace is auditable against RelTol.
+			// Record the Wilson half-width that let the rule fire and which
+			// branch decided it, so every early-stop decision in the trace is
+			// auditable against RelTol.
 			r.Trace.Emit("early_stop", map[string]any{
-				"point": pt, "trials": ran,
+				"point": pt, "trials": ran, "branch": branch,
 				"rel_halfwidth": rule.MaxRelHalfWidth(p.Ests), "reltol": rule.RelTol,
 			})
 			break

@@ -53,12 +53,26 @@ func Choose(n, k int) float64 {
 }
 
 // Threshold returns ρ = 1/(3·C(G,2)), the gate error rate below which
-// concatenated recovery reduces the logical error rate (Equation 1).
-func Threshold(g int) float64 {
+// concatenated recovery reduces the logical error rate (Equation 1). G must
+// be at least 2 — fewer operations admit no pair of faults and Equation 1
+// degenerates — otherwise an error is returned. Callers holding one of the
+// package's G constants can use MustThreshold.
+func Threshold(g int) (float64, error) {
 	if g < 2 {
-		panic(fmt.Sprintf("threshold: G = %d too small", g))
+		return 0, fmt.Errorf("threshold: G = %d too small (need G ≥ 2)", g)
 	}
-	return 1 / (3 * Choose(g, 2))
+	return 1 / (3 * Choose(g, 2)), nil
+}
+
+// MustThreshold is Threshold for G values known valid at the call site (the
+// package constants, or counts taken from a built circuit). It panics on
+// g < 2.
+func MustThreshold(g int) float64 {
+	rho, err := Threshold(g)
+	if err != nil {
+		panic(err)
+	}
+	return rho
 }
 
 // PBitBound returns the paper's bound on the per-encoded-bit error
@@ -96,7 +110,7 @@ func LogicalBound(gerr float64, g int) float64 {
 // LevelRate returns Equation 2's bound on the error rate after L levels of
 // concatenation: g_L ≤ ρ·(g/ρ)^(2^L).
 func LevelRate(gerr float64, g, level int) float64 {
-	rho := Threshold(g)
+	rho := MustThreshold(g)
 	return rho * math.Pow(gerr/rho, math.Pow(2, float64(level)))
 }
 
@@ -106,7 +120,10 @@ func LevelRate(gerr float64, g, level int) float64 {
 // g is not below threshold or if T·ρ ≤ 1 (no depth suffices / none needed
 // is ill-posed).
 func RequiredLevels(t float64, gerr float64, g int) (int, error) {
-	rho := Threshold(g)
+	rho, err := Threshold(g)
+	if err != nil {
+		return 0, err
+	}
 	if gerr >= rho {
 		return 0, fmt.Errorf("threshold: g = %v is not below threshold ρ = %v", gerr, rho)
 	}
@@ -189,8 +206,8 @@ type Table2Row struct {
 // the 2D scheme (ρ₂ = 1/273) under the 1D scheme (ρ₁ = 1/2109), both with
 // accurate initialization, normalized by ρ₂.
 func Table2() []Table2Row {
-	rho1 := Threshold(G1D)
-	rho2 := Threshold(G2D)
+	rho1 := MustThreshold(G1D)
+	rho2 := MustThreshold(G2D)
 	rows := make([]Table2Row, 6)
 	width := 1
 	for k := range rows {

@@ -43,25 +43,34 @@ func TestPaperThresholds(t *testing.T) {
 		{"1D", G1D, 1.0 / 2109},
 	}
 	for _, tt := range tests {
-		if got := Threshold(tt.g); !approx(got, tt.want, 1e-12) {
+		got, err := Threshold(tt.g)
+		if err != nil {
+			t.Fatalf("%s: Threshold(%d): %v", tt.name, tt.g, err)
+		}
+		if !approx(got, tt.want, 1e-12) {
 			t.Errorf("%s: Threshold(%d) = %v, want %v", tt.name, tt.g, got, tt.want)
 		}
 	}
 }
 
-func TestThresholdPanics(t *testing.T) {
+func TestThresholdTooSmall(t *testing.T) {
+	for _, g := range []int{1, 0, -3} {
+		if _, err := Threshold(g); err == nil {
+			t.Errorf("Threshold(%d) did not error", g)
+		}
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Threshold(1) did not panic")
+			t.Fatal("MustThreshold(1) did not panic")
 		}
 	}()
-	Threshold(1)
+	MustThreshold(1)
 }
 
 func TestApprox2DThresholdIsAboutPoint4Percent(t *testing.T) {
 	// The paper: "the gate error rate only needs to reach the larger
 	// threshold, which is approximately 0.4%."
-	if got := Threshold(G2D); !approx(got, 0.004, 0.0005) {
+	if got := MustThreshold(G2D); !approx(got, 0.004, 0.0005) {
 		t.Fatalf("2D threshold %v not ≈ 0.4%%", got)
 	}
 }
@@ -70,7 +79,7 @@ func TestLogicalBoundFixedPoint(t *testing.T) {
 	// At g = ρ the bound gives exactly g back; below, smaller; above,
 	// larger.
 	for _, g := range []int{GNonLocal, GNonLocalInit, G1DInit} {
-		rho := Threshold(g)
+		rho := MustThreshold(g)
 		if got := LogicalBound(rho, g); !approx(got, rho, 1e-15) {
 			t.Errorf("G=%d: LogicalBound(ρ) = %v, want ρ = %v", g, got, rho)
 		}
@@ -121,7 +130,7 @@ func TestLevelRateRecursion(t *testing.T) {
 // (ρ ≈ 10⁻²), T = 10⁶ requires L = 2, a gate blowup of 441 and a bit
 // blowup of 81.
 func TestWorkedExample(t *testing.T) {
-	rho := Threshold(GNonLocal)
+	rho := MustThreshold(GNonLocal)
 	l, err := RequiredLevels(1e6, rho/10, GNonLocal)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +197,7 @@ func TestExactLogicalRateTighterThanBound(t *testing.T) {
 
 func TestExactThresholdImprovesOnRho(t *testing.T) {
 	for _, g := range []int{GNonLocal, GNonLocalInit, G2D, G1DInit} {
-		rho := Threshold(g)
+		rho := MustThreshold(g)
 		exact := ExactThreshold(g)
 		if exact <= rho {
 			t.Fatalf("G=%d: exact threshold %v not above ρ = %v", g, exact, rho)
@@ -256,7 +265,7 @@ func TestAbstractClaim27BitWidth(t *testing.T) {
 }
 
 func TestHybridLimits(t *testing.T) {
-	rho1, rho2 := Threshold(G1D), Threshold(G2D)
+	rho1, rho2 := MustThreshold(G1D), MustThreshold(G2D)
 	// k = 0 is pure 1D; k → ∞ approaches 2D.
 	if got := Hybrid(0, rho1, rho2); !approx(got, rho1, 1e-15) {
 		t.Fatalf("Hybrid(0) = %v, want ρ1 = %v", got, rho1)
@@ -279,7 +288,7 @@ func TestHybridLimits(t *testing.T) {
 // increasing above.
 func TestPropLevelRateMonotone(t *testing.T) {
 	f := func(frac uint8, above bool) bool {
-		rho := Threshold(GNonLocal)
+		rho := MustThreshold(GNonLocal)
 		g := rho * (0.05 + 0.9*float64(frac)/255)
 		if above {
 			g = rho * (1.1 + 5*float64(frac)/255)

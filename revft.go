@@ -257,8 +257,13 @@ func NewCycle2D(k GateKind) *Cycle { return lattice.NewCycle2D(k) }
 // Analytic model (§2.2, §2.3, §3.3)
 // ---------------------------------------------------------------------------
 
-// Threshold returns ρ = 1/(3·C(G,2)).
-func Threshold(g int) float64 { return threshold.Threshold(g) }
+// Threshold returns ρ = 1/(3·C(G,2)). It panics if g < 2; use
+// ThresholdErr when g comes from untrusted input.
+func Threshold(g int) float64 { return threshold.MustThreshold(g) }
+
+// ThresholdErr is Threshold returning an error instead of panicking on
+// g < 2.
+func ThresholdErr(g int) (float64, error) { return threshold.Threshold(g) }
 
 // Architecture gate counts G, as published.
 const (
