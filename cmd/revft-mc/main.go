@@ -53,6 +53,19 @@
 //	                      version, GOMAXPROCS, ...), one event per sweep
 //	                      transition, and a final metrics snapshot
 //
+// Chaos injection (testing the runtime itself):
+//
+//	-chaos 0.05           fail each checkpoint/trace write operation
+//	                      independently with this probability (torn
+//	                      writes included). The Monte Carlo results are
+//	                      unaffected: checkpoint writes retry with
+//	                      backoff and keep the old-or-new guarantee,
+//	                      trace writes degrade to counted drops. The
+//	                      active chaos configuration is recorded in the
+//	                      run manifest so chaotic artifacts are
+//	                      self-identifying.
+//	-chaos-seed 1         seed for the fault sequence (reproducible runs)
+//
 // SIGINT/SIGTERM cancels the sweep cleanly: in-flight trials stop at the
 // next batch boundary, the checkpoint is flushed, and the partial table is
 // printed with a [PARTIAL] title tag. Rerunning with the same spec and
@@ -70,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"revft/internal/chaos"
 	"revft/internal/exp"
 	"revft/internal/stats"
 	"revft/internal/telemetry"
@@ -105,6 +119,8 @@ func run(args []string) error {
 		progress   = fs.Bool("progress", false, "print progress to stderr: per-point lines for sweep experiments, a trials/sec heartbeat otherwise")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this host:port while the run is live")
 		traceFile  = fs.String("trace", "", "write a JSONL event trace (manifest header, sweep events, final metrics snapshot) to this file")
+		chaosRate  = fs.Float64("chaos", 0, "fault-injection probability per checkpoint/trace write operation, in [0,1) (0 = off); results are unaffected, only the I/O resilience machinery is exercised")
+		chaosSeed  = fs.Uint64("chaos-seed", 1, "seed for the injected fault sequence")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +156,8 @@ func run(args []string) error {
 		return fmt.Errorf("-reltol %v: need 0 (off) or positive", *reltol)
 	case *zeroscale < 0:
 		return fmt.Errorf("-zeroscale %v: need 0 (off) or positive", *zeroscale)
+	case *chaosRate < 0 || *chaosRate >= 1:
+		return fmt.Errorf("-chaos %v: need a probability in [0, 1)", *chaosRate)
 	}
 	if *zeroscale > 0 && *reltol == 0 {
 		return errors.New("-zeroscale requires -reltol")
@@ -169,6 +187,19 @@ func run(args []string) error {
 		return errors.New("-resume requires -checkpoint")
 	}
 
+	// Chaos: a positive rate swaps the runtime filesystem under the
+	// checkpoint and trace writers for one that fails each write-side
+	// operation with that probability (including torn writes). Read
+	// operations stay clean so a resume can always load what survived.
+	fsys := chaos.OS
+	if *chaosRate > 0 {
+		fsys = &chaos.InjectFS{
+			Hook: chaos.Prob(*chaosRate, *chaosSeed, chaos.WriteOps...),
+			Torn: true,
+		}
+		fmt.Fprintf(os.Stderr, "revft-mc: chaos injection active: rate %g, seed %d (checkpoint/trace writes only)\n", *chaosRate, *chaosSeed)
+	}
+
 	// Telemetry: any observability flag builds a registry and installs it
 	// process-wide, so even the context-free engines (entropy, vonneumann,
 	// the ablations) report trial counts into it.
@@ -176,6 +207,7 @@ func run(args []string) error {
 		reg *telemetry.Registry
 		man *telemetry.Manifest
 		tr  *telemetry.Trace
+		ft  *telemetry.FileTrace
 	)
 	if *debugAddr != "" || *traceFile != "" || *progress {
 		reg = telemetry.New()
@@ -186,6 +218,13 @@ func run(args []string) error {
 		man.Seed = *seed
 		man.Trials = *trials
 		man.Workers = *workers
+		if *chaosRate > 0 {
+			spec := &telemetry.ChaosSpec{Rate: *chaosRate, Seed: *chaosSeed}
+			for _, op := range chaos.WriteOps {
+				spec.Ops = append(spec.Ops, op.String())
+			}
+			man.Chaos = spec
+		}
 		if n := expectedTrials(*expName, *trials, *points, *maxLevel); n > 0 {
 			reg.Gauge(telemetry.ExpectedTrialsMetric).Set(float64(n))
 		}
@@ -195,18 +234,25 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}
-		defer d.Close()
+		defer func() {
+			// Graceful teardown: let an in-flight /metrics scrape or
+			// pprof profile finish, then make sure the serve goroutine
+			// is gone before the process reports success.
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			_ = d.Shutdown(sctx)
+		}()
 		fmt.Fprintf(os.Stderr, "revft-mc: debug server on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", d.Addr)
 	}
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		var err error
+		ft, err = telemetry.NewTraceFile(*traceFile, man, telemetry.FileTraceOptions{
+			FS: fsys, Metrics: reg, Warn: os.Stderr,
+		})
 		if err != nil {
 			return fmt.Errorf("trace file: %w", err)
 		}
-		defer f.Close()
-		if tr, err = telemetry.NewTrace(f, man); err != nil {
-			return fmt.Errorf("trace file: %w", err)
-		}
+		tr = ft.Trace
 	}
 
 	var t *exp.Table
@@ -227,6 +273,7 @@ func run(args []string) error {
 			Metrics:    reg,
 			Trace:      tr,
 			Manifest:   man,
+			FS:         fsys,
 		}
 		if *progress {
 			o.Progress = os.Stderr
@@ -277,11 +324,17 @@ func run(args []string) error {
 		}
 	}
 
-	if tr != nil {
-		tr.EmitSnapshot(reg)
-		tr.Emit("run_done", map[string]any{"ok": sweepErr == nil})
-		if err := tr.Err(); err != nil {
+	if ft != nil {
+		ft.EmitSnapshot(reg)
+		ft.Emit("run_done", map[string]any{"ok": sweepErr == nil})
+		if err := ft.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "revft-mc: trace %s: %v\n", *traceFile, err)
+		}
+		if err := ft.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "revft-mc: close trace %s: %v\n", *traceFile, err)
+		}
+		if ft.Degraded() {
+			fmt.Fprintf(os.Stderr, "revft-mc: trace %s degraded; %d events counted in trace.events_dropped instead of written\n", *traceFile, ft.Dropped())
 		}
 	}
 

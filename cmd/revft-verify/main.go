@@ -90,19 +90,25 @@ func run(args []string) error {
 	}
 
 	var tr *telemetry.Trace
+	var ft *telemetry.FileTrace
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			return fmt.Errorf("trace file: %w", err)
-		}
-		defer f.Close()
 		man := telemetry.Collect("revft-verify")
 		man.Seed = *seed
 		man.Trials = *trials
 		man.Workers = *workers
-		if tr, err = telemetry.NewTrace(f, man); err != nil {
+		var err error
+		// The crash-safe trace writer: a failing disk degrades the trace
+		// to counted drops instead of failing the verification run.
+		ft, err = telemetry.NewTraceFile(*traceFile, man, telemetry.FileTraceOptions{Warn: os.Stderr})
+		if err != nil {
 			return fmt.Errorf("trace file: %w", err)
 		}
+		defer func() {
+			if cerr := ft.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "revft-verify: close trace %s: %v\n", *traceFile, cerr)
+			}
+		}()
+		tr = ft.Trace
 	}
 
 	cs := checks()

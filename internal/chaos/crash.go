@@ -1,0 +1,310 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CrashMode says how the operation at the crash point itself behaves.
+// Together the modes bracket every state a real crash can leave behind:
+// the op never happened, the op fully happened but the process died
+// before observing it, or (for writes) the op died midway.
+type CrashMode uint8
+
+const (
+	// CrashBefore kills the process just before the operation: it has no
+	// effect on disk.
+	CrashBefore CrashMode = iota
+	// CrashAfter kills the process just after the operation: its effect
+	// is on disk, but the caller never sees it succeed — so none of the
+	// caller's cleanup or follow-up runs.
+	CrashAfter
+	// CrashTorn kills a Write midway: half the bytes land. For
+	// operations without partial effects it behaves like CrashBefore.
+	CrashTorn
+)
+
+// String returns "before", "after", or "torn".
+func (m CrashMode) String() string {
+	switch m {
+	case CrashBefore:
+		return "before"
+	case CrashAfter:
+		return "after"
+	case CrashTorn:
+		return "torn"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// CrashPoint identifies one simulated crash: the At'th filesystem
+// operation (0-based, in call order) died in the given mode. Op and Path
+// record which call that turned out to be.
+type CrashPoint struct {
+	At   int64
+	Mode CrashMode
+	Op   Op
+	Path string
+}
+
+func (p CrashPoint) String() string {
+	return fmt.Sprintf("crash %s op %d (%s %s)", p.Mode, p.At, p.Op, p.Path)
+}
+
+// CrashFS wraps an FS and simulates a process crash at the At'th
+// operation: that operation behaves per Mode, and every later operation
+// fails with ErrCrashed without touching the filesystem — the process is
+// dead, so no cleanup or error handling after the crash point can have
+// any effect. The surviving on-disk state is exactly what a real crash
+// at that instant would leave.
+type CrashFS struct {
+	fs   FS
+	at   int64
+	mode CrashMode
+
+	mu      sync.Mutex
+	n       int64
+	crashed bool
+	point   CrashPoint
+}
+
+// NewCrashFS returns a CrashFS over base (OS if nil) that crashes at
+// operation number at (0-based) in the given mode.
+func NewCrashFS(base FS, at int64, mode CrashMode) *CrashFS {
+	if base == nil {
+		base = OS
+	}
+	return &CrashFS{fs: base, at: at, mode: mode}
+}
+
+// Crashed reports whether the crash point was reached, and which
+// operation it killed.
+func (c *CrashFS) Crashed() (CrashPoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.point, c.crashed
+}
+
+// verdict classifies one operation: proceed normally, crash on this op
+// (with the configured mode), or already dead.
+type verdict uint8
+
+const (
+	proceed verdict = iota
+	crashNow
+	dead
+)
+
+func (c *CrashFS) step(op Op, path string) verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.n
+	c.n++
+	switch {
+	case k < c.at:
+		return proceed
+	case k == c.at:
+		c.crashed = true
+		c.point = CrashPoint{At: k, Mode: c.mode, Op: op, Path: path}
+		return crashNow
+	default:
+		return dead
+	}
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	switch c.step(OpCreate, name) {
+	case proceed:
+		f, err := c.fs.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		return &crashFile{fs: c, f: f}, nil
+	case crashNow:
+		if c.mode == CrashAfter {
+			if f, err := c.fs.Create(name); err == nil {
+				_ = f.Close()
+			}
+		}
+	}
+	return nil, ErrCrashed
+}
+
+func (c *CrashFS) CreateTemp(dir, pattern string) (File, error) {
+	switch c.step(OpCreateTemp, dir) {
+	case proceed:
+		f, err := c.fs.CreateTemp(dir, pattern)
+		if err != nil {
+			return nil, err
+		}
+		return &crashFile{fs: c, f: f}, nil
+	case crashNow:
+		if c.mode == CrashAfter {
+			// The temp file lands on disk — the orphan a real crash
+			// between CreateTemp and Rename leaves behind.
+			if f, err := c.fs.CreateTemp(dir, pattern); err == nil {
+				_ = f.Close()
+			}
+		}
+	}
+	return nil, ErrCrashed
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	switch c.step(OpRename, newpath) {
+	case proceed:
+		return c.fs.Rename(oldpath, newpath)
+	case crashNow:
+		if c.mode == CrashAfter {
+			_ = c.fs.Rename(oldpath, newpath)
+		}
+	}
+	return ErrCrashed
+}
+
+func (c *CrashFS) Remove(name string) error {
+	switch c.step(OpRemove, name) {
+	case proceed:
+		return c.fs.Remove(name)
+	case crashNow:
+		if c.mode == CrashAfter {
+			_ = c.fs.Remove(name)
+		}
+	}
+	return ErrCrashed
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	switch c.step(OpReadFile, name) {
+	case proceed:
+		return c.fs.ReadFile(name)
+	}
+	return nil, ErrCrashed
+}
+
+func (c *CrashFS) Glob(pattern string) ([]string, error) {
+	switch c.step(OpGlob, pattern) {
+	case proceed:
+		return c.fs.Glob(pattern)
+	}
+	return nil, ErrCrashed
+}
+
+func (c *CrashFS) SyncDir(dir string) error {
+	switch c.step(OpSyncDir, dir) {
+	case proceed:
+		return c.fs.SyncDir(dir)
+	case crashNow:
+		if c.mode == CrashAfter {
+			_ = c.fs.SyncDir(dir)
+		}
+	}
+	return ErrCrashed
+}
+
+type crashFile struct {
+	fs *CrashFS
+	f  File
+}
+
+func (c *crashFile) Write(p []byte) (int, error) {
+	switch c.fs.step(OpWrite, c.f.Name()) {
+	case proceed:
+		return c.f.Write(p)
+	case crashNow:
+		switch c.fs.mode {
+		case CrashAfter:
+			if n, err := c.f.Write(p); err != nil {
+				return n, err
+			}
+		case CrashTorn:
+			if len(p) > 0 {
+				if n, err := c.f.Write(p[:(len(p)+1)/2]); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return 0, ErrCrashed
+}
+
+func (c *crashFile) Sync() error {
+	switch c.fs.step(OpSync, c.f.Name()) {
+	case proceed:
+		return c.f.Sync()
+	case crashNow:
+		if c.fs.mode == CrashAfter {
+			_ = c.f.Sync()
+		}
+	}
+	return ErrCrashed
+}
+
+func (c *crashFile) Close() error {
+	switch c.fs.step(OpClose, c.f.Name()) {
+	case proceed:
+		return c.f.Close()
+	default:
+		// The process is dead; the kernel would reclaim the descriptor.
+		// Close the real handle so simulations don't accumulate fds, but
+		// report the crash: the caller must not observe a clean close.
+		_ = c.f.Close()
+	}
+	return ErrCrashed
+}
+
+func (c *crashFile) Name() string { return c.f.Name() }
+
+// DefaultCrashModes is the mode set ExploreCrashPoints uses when given
+// none: every operation is killed before, after, and (for writes) midway.
+var DefaultCrashModes = []CrashMode{CrashBefore, CrashAfter, CrashTorn}
+
+// ExploreCrashPoints is the crash-point exploration harness. It first
+// executes run against a counting FS to learn how many filesystem
+// operations the healthy path performs, then re-executes it once per
+// (operation index, mode) pair with a CrashFS that kills exactly that
+// operation. After each crashed execution it calls verify with the crash
+// point and run's error, so the caller can assert on the surviving
+// on-disk state (e.g. "the checkpoint is the old one or the new one,
+// never a torn one, and resume reproduces the uninterrupted results").
+//
+// run must be self-contained: each invocation gets fresh state (its own
+// directory) and performs the same operation sequence, so that operation
+// k means the same call in every execution. run's error is not itself a
+// failure — a crashed run is supposed to fail — it is handed to verify.
+//
+// ExploreCrashPoints returns the number of crash simulations performed.
+// It stops at the first verify failure, wrapping it with the crash point
+// that produced it.
+func ExploreCrashPoints(base FS, modes []CrashMode, run func(fs FS) error, verify func(cp CrashPoint, runErr error) error) (int, error) {
+	if base == nil {
+		base = OS
+	}
+	if len(modes) == 0 {
+		modes = DefaultCrashModes
+	}
+	count := &CountFS{FS: base}
+	if err := run(count); err != nil {
+		return 0, fmt.Errorf("chaos: healthy run failed before exploration: %w", err)
+	}
+	total := count.N()
+	if total == 0 {
+		return 0, fmt.Errorf("chaos: healthy run performed no filesystem operations; nothing to explore")
+	}
+	explored := 0
+	for at := int64(0); at < total; at++ {
+		for _, mode := range modes {
+			cfs := NewCrashFS(base, at, mode)
+			runErr := run(cfs)
+			cp, ok := cfs.Crashed()
+			if !ok {
+				return explored, fmt.Errorf("chaos: crash point %d/%d (mode %s) never reached — run is not performing a deterministic operation sequence", at, total, mode)
+			}
+			explored++
+			if err := verify(cp, runErr); err != nil {
+				return explored, fmt.Errorf("chaos: %v: %w", cp, err)
+			}
+		}
+	}
+	return explored, nil
+}

@@ -1,0 +1,270 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"revft/internal/rng"
+)
+
+// Hook decides the fate of one filesystem operation before it runs:
+// return nil to let it proceed, or an error to fail it in place of the
+// real call. Hooks must be safe for concurrent use.
+type Hook func(op Op, path string) error
+
+// InjectFS wraps an FS and consults Hook before every operation,
+// including the Write/Sync/Close calls on files it hands out. A failed
+// operation has no effect on the underlying filesystem — with one
+// deliberate exception: when Torn is set, a failed Write first lands the
+// first half of its bytes, modelling a torn write that died midway.
+type InjectFS struct {
+	// FS is the underlying filesystem; nil means OS.
+	FS FS
+	// Hook is consulted before every operation; nil injects nothing.
+	Hook Hook
+	// Torn makes failed Writes leave half their bytes behind.
+	Torn bool
+}
+
+func (f *InjectFS) base() FS {
+	if f.FS == nil {
+		return OS
+	}
+	return f.FS
+}
+
+func (f *InjectFS) fault(op Op, path string) error {
+	if f.Hook == nil {
+		return nil
+	}
+	return f.Hook(op, path)
+}
+
+func (f *InjectFS) Create(name string) (File, error) {
+	if err := f.fault(OpCreate, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, f: file}, nil
+}
+
+func (f *InjectFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.fault(OpCreateTemp, dir); err != nil {
+		return nil, err
+	}
+	file, err := f.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, f: file}, nil
+}
+
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	if err := f.fault(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+func (f *InjectFS) Remove(name string) error {
+	if err := f.fault(OpRemove, name); err != nil {
+		return err
+	}
+	return f.base().Remove(name)
+}
+
+func (f *InjectFS) ReadFile(name string) ([]byte, error) {
+	if err := f.fault(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return f.base().ReadFile(name)
+}
+
+func (f *InjectFS) Glob(pattern string) ([]string, error) {
+	if err := f.fault(OpGlob, pattern); err != nil {
+		return nil, err
+	}
+	return f.base().Glob(pattern)
+}
+
+func (f *InjectFS) SyncDir(dir string) error {
+	if err := f.fault(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.base().SyncDir(dir)
+}
+
+type injectFile struct {
+	fs *InjectFS
+	f  File
+}
+
+func (i *injectFile) Write(p []byte) (int, error) {
+	if err := i.fs.fault(OpWrite, i.f.Name()); err != nil {
+		if i.fs.Torn && len(p) > 0 {
+			n, werr := i.f.Write(p[:(len(p)+1)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return i.f.Write(p)
+}
+
+func (i *injectFile) Sync() error {
+	if err := i.fs.fault(OpSync, i.f.Name()); err != nil {
+		return err
+	}
+	return i.f.Sync()
+}
+
+func (i *injectFile) Close() error {
+	if err := i.fs.fault(OpClose, i.f.Name()); err != nil {
+		// Close the real handle anyway so injected close faults do not
+		// leak file descriptors across long soaks.
+		_ = i.f.Close()
+		return err
+	}
+	return i.f.Close()
+}
+
+func (i *injectFile) Name() string { return i.f.Name() }
+
+// Prob returns a hook that fails each operation in ops independently with
+// the given probability, deterministically from seed. An empty ops list
+// targets every operation. Rates at or below 0 never fire; at or above 1
+// they always fire.
+func Prob(rate float64, seed uint64, ops ...Op) Hook {
+	var mask [numOps]bool
+	if len(ops) == 0 {
+		for i := range mask {
+			mask[i] = true
+		}
+	}
+	for _, op := range ops {
+		if int(op) < len(mask) {
+			mask[op] = true
+		}
+	}
+	var mu sync.Mutex
+	r := rng.New(seed)
+	return func(op Op, path string) error {
+		if int(op) >= len(mask) || !mask[op] {
+			return nil
+		}
+		mu.Lock()
+		hit := r.Bool(rate)
+		mu.Unlock()
+		if hit {
+			return &FaultError{Op: op, Path: path}
+		}
+		return nil
+	}
+}
+
+// CountFS wraps an FS and counts every operation that passes through,
+// including per-file Write/Sync/Close calls. The crash-point explorer
+// uses it to learn how many operations the healthy path performs; it is
+// also handy as a cheap I/O profiler in tests.
+type CountFS struct {
+	// FS is the underlying filesystem; nil means OS.
+	FS FS
+
+	n   atomic.Int64
+	per [numOps]atomic.Int64
+}
+
+// N returns the total operation count so far.
+func (c *CountFS) N() int64 { return c.n.Load() }
+
+// PerOp returns the count of one operation kind.
+func (c *CountFS) PerOp(op Op) int64 {
+	if int(op) >= len(c.per) {
+		return 0
+	}
+	return c.per[op].Load()
+}
+
+func (c *CountFS) base() FS {
+	if c.FS == nil {
+		return OS
+	}
+	return c.FS
+}
+
+func (c *CountFS) count(op Op) {
+	c.n.Add(1)
+	if int(op) < len(c.per) {
+		c.per[op].Add(1)
+	}
+}
+
+func (c *CountFS) Create(name string) (File, error) {
+	c.count(OpCreate)
+	f, err := c.base().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countFile{fs: c, f: f}, nil
+}
+
+func (c *CountFS) CreateTemp(dir, pattern string) (File, error) {
+	c.count(OpCreateTemp)
+	f, err := c.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &countFile{fs: c, f: f}, nil
+}
+
+func (c *CountFS) Rename(oldpath, newpath string) error {
+	c.count(OpRename)
+	return c.base().Rename(oldpath, newpath)
+}
+
+func (c *CountFS) Remove(name string) error {
+	c.count(OpRemove)
+	return c.base().Remove(name)
+}
+
+func (c *CountFS) ReadFile(name string) ([]byte, error) {
+	c.count(OpReadFile)
+	return c.base().ReadFile(name)
+}
+
+func (c *CountFS) Glob(pattern string) ([]string, error) {
+	c.count(OpGlob)
+	return c.base().Glob(pattern)
+}
+
+func (c *CountFS) SyncDir(dir string) error {
+	c.count(OpSyncDir)
+	return c.base().SyncDir(dir)
+}
+
+type countFile struct {
+	fs *CountFS
+	f  File
+}
+
+func (c *countFile) Write(p []byte) (int, error) {
+	c.fs.count(OpWrite)
+	return c.f.Write(p)
+}
+
+func (c *countFile) Sync() error {
+	c.fs.count(OpSync)
+	return c.f.Sync()
+}
+
+func (c *countFile) Close() error {
+	c.fs.count(OpClose)
+	return c.f.Close()
+}
+
+func (c *countFile) Name() string { return c.f.Name() }

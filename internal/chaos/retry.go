@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"revft/internal/rng"
+)
+
+// Policy is a jittered, deadline-budgeted, context-aware exponential
+// backoff for transient I/O failures. The zero value is a usable default
+// (4 attempts, 5ms base delay doubling to a 250ms cap, 2s total backoff
+// budget, full jitter). Set MaxAttempts to 1 to disable retries.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first;
+	// <= 0 selects 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry up to MaxDelay. <= 0 selects 5ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff; <= 0 selects 250ms.
+	MaxDelay time.Duration
+	// Budget bounds the total time spent backing off across all retries;
+	// once spent, the last error is returned even if attempts remain.
+	// <= 0 selects 2s.
+	Budget time.Duration
+	// Seed makes the jitter deterministic; 0 is a valid seed.
+	Seed uint64
+	// Retryable reports whether an error is worth retrying; nil selects
+	// DefaultRetryable.
+	Retryable func(error) bool
+	// Sleep replaces the real backoff sleep, for tests; nil sleeps on a
+	// timer, honouring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when non-nil, observes each retry decision: the attempt
+	// number just failed (1-based), its error, and the backoff chosen.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// DefaultRetryable retries everything except context cancellation and
+// simulated crashes: a cancelled operation was asked to stop, and a
+// crashed process cannot retry anything.
+func DefaultRetryable(err error) bool {
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, ErrCrashed)
+}
+
+// RetryError reports that a retried operation exhausted its policy. It
+// unwraps to the last attempt's error, so errors.Is sees through it.
+type RetryError struct {
+	// Attempts is how many times the operation was tried.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("chaos: failed after %d attempt(s): %v", e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// Do runs op under the policy: on a retryable error it backs off
+// (exponentially, jittered, within the budget and ctx) and tries again.
+// It returns nil on the first success; a *RetryError wrapping the last
+// failure when the policy is exhausted; and stops early, without
+// sleeping further, when ctx is cancelled or the error is not retryable.
+// A single-attempt failure that is not retryable is returned wrapped the
+// same way, so callers can always errors.As to *RetryError for the
+// attempt count.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 250 * time.Millisecond
+	}
+	budget := p.Budget
+	if budget <= 0 {
+		budget = 2 * time.Second
+	}
+	retryable := p.Retryable
+	if retryable == nil {
+		retryable = DefaultRetryable
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	jitter := newJitter(p.Seed)
+
+	var lastErr error
+	delay := base
+	for attempt := 1; ; attempt++ {
+		lastErr = op()
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryable(lastErr) || ctx.Err() != nil {
+			return &RetryError{Attempts: attempt, Err: lastErr}
+		}
+		d := delay
+		if d > maxd {
+			d = maxd
+		}
+		// Full jitter: a uniform draw in (0, d] keeps retries from
+		// synchronizing while preserving the exponential envelope.
+		d = time.Duration(float64(d) * jitter())
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		if d > budget {
+			return &RetryError{Attempts: attempt, Err: lastErr}
+		}
+		budget -= d
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, lastErr, d)
+		}
+		if err := sleep(ctx, d); err != nil {
+			return &RetryError{Attempts: attempt, Err: lastErr}
+		}
+		delay *= 2
+	}
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// newJitter returns a locked uniform (0, 1] source seeded from seed.
+func newJitter(seed uint64) func() float64 {
+	var mu sync.Mutex
+	r := rng.New(seed ^ 0xc4a75_ca05) // decorrelate from sampling uses of the same seed
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return 1 - r.Float64() // (0, 1]: never a zero backoff
+	}
+}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// noSleep is the test clock: records requested backoffs, never sleeps.
+func noSleep(slept *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	fails := 2
+	err := Policy{Seed: 1, Sleep: noSleep(&slept)}.Do(context.Background(), func() error {
+		if fails > 0 {
+			fails--
+			return &FaultError{Op: OpSync, Path: "x"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success on attempt 3", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Exponential envelope: each backoff is positive and bounded by the
+	// doubling base (5ms, 10ms) under full jitter.
+	for i, d := range slept {
+		hi := 5 * time.Millisecond << uint(i)
+		if d <= 0 || d > hi {
+			t.Errorf("backoff %d = %v, want in (0, %v]", i, d, hi)
+		}
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	var slept []time.Duration
+	inner := &FaultError{Op: OpWrite, Path: "ck"}
+	err := Policy{MaxAttempts: 3, Seed: 1, Sleep: noSleep(&slept)}.Do(context.Background(), func() error {
+		return inner
+	})
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 3 {
+		t.Fatalf("err = %v, want *RetryError with 3 attempts", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("RetryError should unwrap to the injected fault: %v", err)
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times for 3 attempts, want 2", len(slept))
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	calls := 0
+	err := Policy{Seed: 1}.Do(context.Background(), func() error {
+		calls++
+		return ErrCrashed
+	})
+	if calls != 1 {
+		t.Errorf("a crash was retried %d times; a dead process retries nothing", calls)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || !errors.Is(err, ErrCrashed) {
+		t.Errorf("err = %v, want RetryError wrapping ErrCrashed", err)
+	}
+
+	calls = 0
+	errCustom := errors.New("permanent")
+	err = Policy{Seed: 1, Retryable: func(e error) bool { return !errors.Is(e, errCustom) }}.
+		Do(context.Background(), func() error { calls++; return errCustom })
+	if calls != 1 || !errors.Is(err, errCustom) {
+		t.Errorf("custom Retryable: calls = %d, err = %v", calls, err)
+	}
+}
+
+func TestRetryRespectsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Policy{MaxAttempts: 10, Seed: 1}.Do(ctx, func() error {
+		calls++
+		cancel()
+		return &FaultError{Op: OpSync, Path: "x"}
+	})
+	if calls != 1 {
+		t.Errorf("cancelled context still got %d attempts", calls)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want the operation error", err)
+	}
+}
+
+// TestRetryBudgetBounds: when the remaining budget cannot fund the next
+// backoff, Do gives up instead of sleeping past its deadline.
+func TestRetryBudgetBounds(t *testing.T) {
+	var slept []time.Duration
+	err := Policy{
+		MaxAttempts: 100,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Budget:      25 * time.Millisecond,
+		Seed:        1,
+		Sleep:       noSleep(&slept),
+		// Deterministic jitter bound check: with full jitter each sleep
+		// is <= 10ms, so at least 2 retries fit a 25ms budget.
+	}.Do(context.Background(), func() error { return &FaultError{Op: OpWrite, Path: "x"} })
+	if err == nil {
+		t.Fatal("budget-bound retry succeeded?")
+	}
+	var total time.Duration
+	for _, d := range slept {
+		total += d
+	}
+	if total > 25*time.Millisecond {
+		t.Errorf("slept %v total, over the 25ms budget (%v)", total, slept)
+	}
+	if len(slept) == 0 {
+		t.Error("budget prevented every retry")
+	}
+}
+
+func TestRetryDeterministicJitter(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var slept []time.Duration
+		_ = Policy{MaxAttempts: 5, Seed: seed, Sleep: noSleep(&slept)}.
+			Do(context.Background(), func() error { return &FaultError{Op: OpSync, Path: "x"} })
+		return slept
+	}
+	a, b := run(3), run(3)
+	if len(a) != len(b) {
+		t.Fatalf("different retry counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("same seed, different backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryOnRetryObserves(t *testing.T) {
+	var attempts []int
+	var slept []time.Duration
+	fails := 3
+	err := Policy{
+		Seed: 1, Sleep: noSleep(&slept),
+		OnRetry: func(attempt int, err error, delay time.Duration) {
+			attempts = append(attempts, attempt)
+			if !errors.Is(err, ErrInjected) || delay <= 0 {
+				t.Errorf("OnRetry(%d, %v, %v)", attempt, err, delay)
+			}
+		},
+	}.Do(context.Background(), func() error {
+		if fails > 0 {
+			fails--
+			return &FaultError{Op: OpRename, Path: "x"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attempts) != 3 || attempts[0] != 1 || attempts[2] != 3 {
+		t.Errorf("OnRetry attempts = %v, want [1 2 3]", attempts)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"revft/internal/adder"
+	"revft/internal/chaos"
 	"revft/internal/core"
 	"revft/internal/gate"
 	"revft/internal/lattice"
@@ -55,6 +56,12 @@ type SweepOptions struct {
 	// Manifest, when non-nil, is stamped with the sweep's spec digest and
 	// embedded in checkpoints.
 	Manifest *telemetry.Manifest
+	// FS, when non-nil, routes all checkpoint I/O through it — the hook
+	// for chaos fault injection. Nil means the direct OS filesystem.
+	FS chaos.FS
+	// Retry governs checkpoint-write retries; the zero value is the
+	// chaos package default policy.
+	Retry chaos.Policy
 }
 
 func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner {
@@ -67,6 +74,8 @@ func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner 
 		Metrics:        o.Metrics,
 		Trace:          o.Trace,
 		Manifest:       o.Manifest,
+		FS:             o.FS,
+		Retry:          o.Retry,
 	}
 }
 

@@ -1,0 +1,292 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"revft/internal/chaos"
+	"revft/internal/telemetry"
+)
+
+// fastRetry is the test retry policy: real backoff decisions, no real
+// sleeping.
+func fastRetry(attempts int) chaos.Policy {
+	return chaos.Policy{
+		MaxAttempts: attempts,
+		Seed:        1,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+// TestCrashPointExplorerCheckpointPath is the acceptance test of the
+// crash harness: kill the checkpointed sweep after every individual
+// filesystem operation of its write path, in every crash mode, and
+// require that (1) the surviving checkpoint is always the old one or the
+// new one — loadable, a prefix of the reference results, never torn —
+// and (2) resuming from whatever survived reproduces the uninterrupted
+// sweep bit-for-bit, leaving zero temp files behind.
+func TestCrashPointExplorerCheckpointPath(t *testing.T) {
+	spec := testSpec(3)
+	spec.Trials = 2000
+	ref, err := (&Runner{Spec: spec, Point: fakePoint(42)}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ckPath string
+	run := func(fsys chaos.FS) error {
+		ckPath = filepath.Join(t.TempDir(), "ck.json")
+		_, rerr := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: ckPath, FS: fsys}).Run(context.Background())
+		return rerr
+	}
+	verify := func(cp chaos.CrashPoint, runErr error) error {
+		// The surviving state must be an honest prefix of the sweep:
+		// either no checkpoint yet, or a loadable one whose points match
+		// the reference exactly.
+		resume := false
+		if _, serr := os.Stat(ckPath); serr == nil {
+			ck, lerr := Load(ckPath)
+			if lerr != nil {
+				return fmt.Errorf("surviving checkpoint corrupt: %w", lerr)
+			}
+			if len(ck.Done) > len(ref.Done) {
+				return fmt.Errorf("surviving checkpoint has %d points, reference %d", len(ck.Done), len(ref.Done))
+			}
+			for i, p := range ck.Done {
+				if !reflect.DeepEqual(p, ref.Done[i]) {
+					return fmt.Errorf("surviving point %d differs from reference", i)
+				}
+			}
+			resume = true
+		} else if !os.IsNotExist(serr) {
+			return serr
+		}
+		// Reboot: resume on a healthy filesystem and compare bit-for-bit.
+		out, rerr := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: ckPath, Resume: resume}).Run(context.Background())
+		if rerr != nil {
+			return fmt.Errorf("resume after crash failed: %w", rerr)
+		}
+		if !out.Complete {
+			return errors.New("resumed sweep incomplete")
+		}
+		if !reflect.DeepEqual(out.Done, ref.Done) {
+			return errors.New("resumed sweep differs from uninterrupted run")
+		}
+		// The resumed run's completed saves must have reclaimed any temp
+		// file the crash orphaned.
+		if tmps, _ := filepath.Glob(ckPath + ".tmp*"); len(tmps) != 0 {
+			return fmt.Errorf("leaked temp files after resume: %v", tmps)
+		}
+		return nil
+	}
+
+	n, err := chaos.ExploreCrashPoints(chaos.OS, nil, run, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint write path per save: CreateTemp, Write, Sync,
+	// Close, Rename, SyncDir, Glob (stale-temp sweep). 3 points = 21
+	// operations, each killed in 3 modes.
+	if want := 21 * 3; n != want {
+		t.Errorf("explored %d crash points, want %d — the explorer no longer covers every FS op of the write path", n, want)
+	}
+}
+
+// TestCheckpointRetryRecoversFromTransientFaults: a filesystem that fails
+// every first Sync recovers under the retry policy; the sweep completes,
+// the retries are counted, and the checkpoint matches a clean run's.
+func TestCheckpointRetryRecoversFromTransientFaults(t *testing.T) {
+	spec := testSpec(3)
+	var calls atomic.Int64
+	fsys := &chaos.InjectFS{Hook: func(op chaos.Op, path string) error {
+		// Fail every other Sync: each save needs one retry at most.
+		if op == chaos.OpSync && calls.Add(1)%2 == 1 {
+			return &chaos.FaultError{Op: op, Path: path}
+		}
+		return nil
+	}}
+	reg := telemetry.New()
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	out, err := (&Runner{
+		Spec: spec, Point: fakePoint(42), CheckpointPath: ck,
+		FS: fsys, Retry: fastRetry(4), Metrics: reg,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("sweep failed despite retries: %v", err)
+	}
+	if !out.Complete {
+		t.Fatal("sweep incomplete")
+	}
+	if got := reg.Snapshot().Counters["sweep.checkpoint_retries"]; got < 3 {
+		t.Errorf("sweep.checkpoint_retries = %d, want >= 3 (one per save)", got)
+	}
+	if got := reg.Snapshot().Counters["sweep.checkpoint_failures"]; got != 0 {
+		t.Errorf("sweep.checkpoint_failures = %d, want 0", got)
+	}
+	loaded, err := Load(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Done) != 3 {
+		t.Errorf("checkpoint holds %d points, want 3", len(loaded.Done))
+	}
+	if tmps, _ := filepath.Glob(ck + ".tmp*"); len(tmps) != 0 {
+		t.Errorf("temp files leaked: %v", tmps)
+	}
+}
+
+// TestCheckpointExhaustionFailsLoudlyKeepingLastGood: when every write
+// attempt fails, the sweep stops with a wrapped *RetryError — and the
+// last successfully written checkpoint is still on disk, intact.
+func TestCheckpointExhaustionFailsLoudlyKeepingLastGood(t *testing.T) {
+	spec := testSpec(3)
+	var saves atomic.Int64
+	fsys := &chaos.InjectFS{Hook: func(op chaos.Op, path string) error {
+		// First save clean; every later Rename fails permanently.
+		if op == chaos.OpRename && saves.Add(1) > 1 {
+			return &chaos.FaultError{Op: op, Path: path}
+		}
+		return nil
+	}}
+	reg := telemetry.New()
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	out, err := (&Runner{
+		Spec: spec, Point: fakePoint(42), CheckpointPath: ck,
+		FS: fsys, Retry: fastRetry(3), Metrics: reg,
+	}).Run(context.Background())
+	if err == nil {
+		t.Fatal("sweep succeeded with a permanently failing checkpoint path")
+	}
+	var re *chaos.RetryError
+	if !errors.As(err, &re) || re.Attempts != 3 {
+		t.Errorf("err = %v, want *RetryError after 3 attempts", err)
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Errorf("err should unwrap to the injected fault: %v", err)
+	}
+	if out.Complete {
+		t.Error("outcome marked complete despite checkpoint failure")
+	}
+	if got := reg.Snapshot().Counters["sweep.checkpoint_failures"]; got == 0 {
+		t.Error("sweep.checkpoint_failures not counted")
+	}
+	// Last good checkpoint: the first save (point 0) must still load.
+	loaded, lerr := Load(ck)
+	if lerr != nil {
+		t.Fatalf("last good checkpoint unreadable: %v", lerr)
+	}
+	if len(loaded.Done) != 1 || loaded.Done[0].Index != 0 {
+		t.Errorf("last good checkpoint = %+v, want exactly point 0", loaded.Done)
+	}
+}
+
+// TestSaveReclaimsStaleTemps: an orphan temp file from a crashed writer
+// is removed by the next successful save.
+func TestSaveReclaimsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	for _, orphan := range []string{"ck.json.tmp123", "ck.json.tmp999"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("{torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := testSpec(1)
+	c := &Checkpoint{Digest: spec.Digest(), Spec: spec}
+	if err := c.Save(ck); err != nil {
+		t.Fatal(err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(tmps) != 0 {
+		t.Errorf("stale temps survived a successful save: %v", tmps)
+	}
+	if _, err := Load(ck); err != nil {
+		t.Errorf("checkpoint itself damaged by cleanup: %v", err)
+	}
+}
+
+// TestSaveErrorRemovesOwnTemp: the write path's own temp file is cleaned
+// up when the save fails after CreateTemp (the process is alive to do
+// it; only a crash can orphan a temp, and the next save reclaims those).
+func TestSaveErrorRemovesOwnTemp(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	for _, failOp := range []chaos.Op{chaos.OpWrite, chaos.OpSync, chaos.OpClose, chaos.OpRename} {
+		fsys := &chaos.InjectFS{Hook: func(op chaos.Op, path string) error {
+			if op == failOp {
+				return &chaos.FaultError{Op: op, Path: path}
+			}
+			return nil
+		}}
+		spec := testSpec(1)
+		c := &Checkpoint{Digest: spec.Digest(), Spec: spec}
+		if err := c.SaveFS(fsys, ck); !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("fail %s: err = %v, want injected", failOp, err)
+		}
+		if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(tmps) != 0 {
+			t.Errorf("fail %s: temp leaked: %v", failOp, tmps)
+		}
+	}
+}
+
+// TestResumeDigestMismatchIsTyped: the refusal to resume a foreign
+// checkpoint is a *DigestMismatchError carrying both digests and a
+// user-actionable message.
+func TestResumeDigestMismatchIsTyped(t *testing.T) {
+	spec := testSpec(3)
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if _, err := (&Runner{Spec: spec, Point: fakePoint(42), CheckpointPath: ck}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	changed := spec
+	changed.Seed++
+	_, err := (&Runner{Spec: changed, Point: fakePoint(43), CheckpointPath: ck, Resume: true}).Run(context.Background())
+	var dm *DigestMismatchError
+	if !errors.As(err, &dm) {
+		t.Fatalf("err = %T %v, want *DigestMismatchError", err, err)
+	}
+	if dm.Path != ck || dm.CheckpointDigest != spec.Digest() || dm.SpecDigest != changed.Digest() {
+		t.Errorf("mismatch fields wrong: %+v", dm)
+	}
+	for _, phrase := range []string{"different sweep", "delete the checkpoint", "original spec"} {
+		if !errorContains(err, phrase) {
+			t.Errorf("error message should contain %q: %v", phrase, err)
+		}
+	}
+}
+
+// TestLoadCorruptIsTyped: both corruption shapes come back as
+// *CorruptError.
+func TestLoadCorruptIsTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte(`{"digest": "tor`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Path != path || ce.Err == nil {
+		t.Fatalf("truncated: err = %T %v, want *CorruptError with parse cause", err, err)
+	}
+
+	spec := testSpec(1)
+	good := &Checkpoint{Digest: "0000000000000000", Spec: spec}
+	b, _ := json.Marshal(good)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !errors.As(err, &ce) || ce.Err != nil || ce.SpecDigest != spec.Digest() {
+		t.Fatalf("tampered digest: err = %T %v, want digest-inconsistency *CorruptError", err, err)
+	}
+}
+
+func errorContains(err error, sub string) bool {
+	return err != nil && strings.Contains(err.Error(), sub)
+}

@@ -20,10 +20,10 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"time"
 
+	"revft/internal/chaos"
 	"revft/internal/stats"
 	"revft/internal/telemetry"
 )
@@ -190,19 +190,31 @@ type Checkpoint struct {
 	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 }
 
-// Save writes the checkpoint atomically and durably: marshal to a temp
-// file in the destination directory, fsync the file, rename over path,
-// then fsync the directory so the rename itself survives power loss. A
-// crash mid-write leaves the previous checkpoint intact; a crash after
-// the rename leaves the new one. There is no window in which path names a
-// truncated file.
-func (c *Checkpoint) Save(path string) error {
+// Save writes the checkpoint atomically and durably through the direct
+// OS filesystem; see SaveFS.
+func (c *Checkpoint) Save(path string) error { return c.SaveFS(chaos.OS, path) }
+
+// SaveFS writes the checkpoint atomically and durably through fsys:
+// marshal to a temp file in the destination directory, fsync the file,
+// rename over path, then fsync the directory so the rename itself
+// survives power loss. A crash mid-write leaves the previous checkpoint
+// intact; a crash after the rename leaves the new one. There is no
+// window in which path names a truncated file.
+//
+// A successful save also sweeps up stale temp files a crashed earlier
+// writer left next to the checkpoint (a process killed between
+// CreateTemp and Rename orphans its temp file; only the next completed
+// save can safely reclaim it).
+func (c *Checkpoint) SaveFS(fsys chaos.FS, path string) error {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
 	b, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return fmt.Errorf("sweep: marshal checkpoint: %w", err)
 	}
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("sweep: checkpoint temp file: %w", err)
 	}
@@ -218,37 +230,71 @@ func (c *Checkpoint) Save(path string) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp, path)
+		werr = fsys.Rename(tmp, path)
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("sweep: write checkpoint %s: %w", path, werr)
 	}
 	// Make the rename durable. Best-effort: some filesystems reject
 	// directory fsync, and the write itself already succeeded.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		d.Close()
+	_ = fsys.SyncDir(dir)
+	// Reclaim orphans from crashed writers. Our own temp file was just
+	// renamed away, so anything still matching the pattern is stale.
+	// Best-effort: a failure here leaves litter, never a bad checkpoint.
+	if stale, gerr := fsys.Glob(filepath.Join(dir, filepath.Base(path)+".tmp*")); gerr == nil {
+		for _, s := range stale {
+			_ = fsys.Remove(s)
+		}
 	}
 	return nil
 }
 
-// Load reads a checkpoint and verifies first that it parses and then that
-// its internal digest matches its embedded spec — rejecting truncated or
-// otherwise corrupt files with a clean error (never a panic), and files
-// hand-edited out of sync with their digest.
-func Load(path string) (*Checkpoint, error) {
-	b, err := os.ReadFile(path)
+// CorruptError reports a checkpoint file that exists but cannot be
+// trusted: not valid JSON (torn or foreign file), or internally
+// inconsistent with its own recorded digest. The safe user action is to
+// delete the file and rerun without -resume.
+type CorruptError struct {
+	// Path is the checkpoint file.
+	Path string
+	// Err is the parse error, nil for a digest inconsistency.
+	Err error
+	// SpecDigest and RecordedDigest are set (truncated to 12 hex chars)
+	// when the JSON parsed but the digest did not match the spec.
+	SpecDigest, RecordedDigest string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("sweep: corrupt checkpoint %s (not valid JSON — truncated write or wrong file?): %v", e.Path, e.Err)
+	}
+	return fmt.Sprintf("sweep: checkpoint %s is internally inconsistent (spec digest %.12s, recorded %.12s); delete it and rerun without -resume",
+		e.Path, e.SpecDigest, e.RecordedDigest)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Load reads a checkpoint through the direct OS filesystem; see LoadFS.
+func Load(path string) (*Checkpoint, error) { return LoadFS(chaos.OS, path) }
+
+// LoadFS reads a checkpoint through fsys and verifies first that it
+// parses and then that its internal digest matches its embedded spec —
+// rejecting truncated or otherwise corrupt files with a *CorruptError
+// (never a panic), and files hand-edited out of sync with their digest.
+func LoadFS(fsys chaos.FS, path string) (*Checkpoint, error) {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
 	}
 	var c Checkpoint
 	if err := json.Unmarshal(b, &c); err != nil {
-		return nil, fmt.Errorf("sweep: corrupt checkpoint %s (not valid JSON — truncated write or wrong file?): %w", path, err)
+		return nil, &CorruptError{Path: path, Err: err}
 	}
 	if got := c.Spec.Digest(); got != c.Digest {
-		return nil, fmt.Errorf("sweep: checkpoint %s is internally inconsistent (spec digest %.12s, recorded %.12s)",
-			path, got, c.Digest)
+		return nil, &CorruptError{Path: path, SpecDigest: got, RecordedDigest: c.Digest}
 	}
 	return &c, nil
 }
@@ -297,6 +343,44 @@ type Runner struct {
 	// Manifest, when non-nil, is stamped with the spec digest and
 	// embedded in every checkpoint written.
 	Manifest *telemetry.Manifest
+
+	// FS is the filesystem all checkpoint I/O goes through; nil uses the
+	// direct OS filesystem. Tests and the -chaos flag install
+	// fault-injecting filesystems here.
+	FS chaos.FS
+	// Retry governs checkpoint write retries: transient failures (a
+	// flaky Sync, an injected fault) back off and retry within the
+	// policy's attempt and time budget; only when the policy is
+	// exhausted does the sweep fail — loudly, with the last good
+	// checkpoint intact on disk. The zero value is the chaos package's
+	// default policy (4 attempts, jittered exponential backoff, 2s
+	// budget).
+	Retry chaos.Policy
+}
+
+// DigestMismatchError reports a resume attempt against a checkpoint
+// written by a different sweep spec. It is deliberate and loud: silently
+// restarting from scratch (or worse, mixing results across specs) would
+// corrupt the statistics. The fix is user-actionable — rerun with the
+// exact original flags, or delete the checkpoint to start fresh.
+type DigestMismatchError struct {
+	// Path is the checkpoint file.
+	Path string
+	// CheckpointDigest is the digest recorded in the checkpoint;
+	// SpecDigest is this run's.
+	CheckpointDigest, SpecDigest string
+}
+
+func (e *DigestMismatchError) Error() string {
+	return fmt.Sprintf("sweep: checkpoint %s belongs to a different sweep (digest %.12s, this spec %.12s); refusing to mix results — rerun with the exact original spec (experiment, grid, trials, seed, workers, engine, stop rule) to resume, or delete the checkpoint to start fresh",
+		e.Path, e.CheckpointDigest, e.SpecDigest)
+}
+
+func (r *Runner) fs() chaos.FS {
+	if r.FS == nil {
+		return chaos.OS
+	}
+	return r.FS
 }
 
 // Outcome is what a sweep produced: completed points in index order,
@@ -335,13 +419,12 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		if r.CheckpointPath == "" {
 			return nil, errors.New("sweep: resume requested without a checkpoint path")
 		}
-		ck, err := Load(r.CheckpointPath)
+		ck, err := LoadFS(r.fs(), r.CheckpointPath)
 		if err != nil {
 			return nil, err
 		}
 		if ck.Digest != digest {
-			return nil, fmt.Errorf("sweep: checkpoint %s belongs to a different sweep (digest %.12s, this spec %.12s); refusing to mix results",
-				r.CheckpointPath, ck.Digest, digest)
+			return nil, &DigestMismatchError{Path: r.CheckpointPath, CheckpointDigest: ck.Digest, SpecDigest: digest}
 		}
 		for _, p := range ck.Done {
 			if !p.Partial && p.Index >= 0 && p.Index < r.Spec.Points {
@@ -362,10 +445,29 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 			}
 		}
 		t0 := time.Now()
-		err := ck.Save(r.CheckpointPath)
+		pol := r.Retry
+		userOnRetry := pol.OnRetry
+		pol.OnRetry = func(attempt int, rerr error, delay time.Duration) {
+			// Every retried checkpoint write is visible in telemetry, so
+			// a run that limped through transient I/O faults says so.
+			if r.Metrics != nil {
+				r.Metrics.Counter("sweep.checkpoint_retries").Inc()
+			}
+			r.Trace.Emit("checkpoint_retry", map[string]any{
+				"path": r.CheckpointPath, "attempt": attempt,
+				"error": rerr.Error(), "backoff_seconds": delay.Seconds(),
+			})
+			if userOnRetry != nil {
+				userOnRetry(attempt, rerr, delay)
+			}
+		}
+		err := pol.Do(ctx, func() error { return ck.SaveFS(r.fs(), r.CheckpointPath) })
 		wall := time.Since(t0).Seconds()
 		if r.Metrics != nil {
 			r.Metrics.Counter("sweep.checkpoint_writes").Inc()
+			if err != nil {
+				r.Metrics.Counter("sweep.checkpoint_failures").Inc()
+			}
 			r.Metrics.Histogram("sweep.checkpoint_seconds", telemetry.LatencyBuckets).Observe(wall)
 		}
 		r.Trace.Emit("checkpoint", map[string]any{

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -21,8 +22,9 @@ type DebugServer struct {
 	// when the requested port was 0.
 	Addr string
 
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
 }
 
 // expvarOnce guards the process-wide expvar.Publish of the registry
@@ -64,19 +66,44 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
 	go func() {
-		// ErrServerClosed after Close is the normal exit; anything else
-		// has nowhere useful to go in a debug endpoint.
+		defer close(d.done)
+		// ErrServerClosed after Close/Shutdown is the normal exit;
+		// anything else has nowhere useful to go in a debug endpoint.
 		_ = d.srv.Serve(ln)
 	}()
 	return d, nil
 }
 
-// Close stops the server and its listener.
+// Close stops the server and its listener immediately, dropping any
+// in-flight requests. Prefer Shutdown on the normal exit path.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
-	return d.srv.Close()
+	err := d.srv.Close()
+	d.wait()
+	return err
+}
+
+// Shutdown stops accepting connections and waits for in-flight requests
+// (a scrape of /metrics, a pprof profile) to finish, up to ctx's
+// deadline. When it returns, the serve goroutine has exited — the
+// server leaves nothing running behind it.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Shutdown(ctx)
+	d.wait()
+	return err
+}
+
+// wait blocks until the Serve goroutine returns; bounded because both
+// Close and Shutdown have already stopped the listener.
+func (d *DebugServer) wait() {
+	if d.done != nil {
+		<-d.done
+	}
 }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// serveGoroutines counts live goroutines parked in the HTTP server's
+// accept loop — the one ServeDebug spawns. A leak-free shutdown returns
+// this to its pre-start value.
+func serveGoroutines() int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return strings.Count(string(buf[:n]), "net/http.(*Server).Serve(")
+}
+
+// waitServeGoroutines polls until the count reaches want or the deadline
+// passes (goroutine teardown is asynchronous after Serve returns).
+func waitServeGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := serveGoroutines(); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve goroutines = %d, want %d (leak)", serveGoroutines(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDebugServerShutdownNoLeak is the lifecycle contract: Shutdown
+// returns only after the serve goroutine has exited, the port is
+// released, and nothing is left running.
+func TestDebugServerShutdownNoLeak(t *testing.T) {
+	base := serveGoroutines()
+	reg := New()
+	reg.Counter("x").Inc()
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + d.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	waitServeGoroutines(t, base)
+	if _, err := http.Get("http://" + d.Addr + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestDebugServerShutdownOnCancelledContext: the run's context being
+// already dead (the usual crash-path case) still tears the server down —
+// Shutdown reports the context error but leaks nothing.
+func TestDebugServerShutdownOnCancelledContext(t *testing.T) {
+	base := serveGoroutines()
+	d, err := ServeDebug("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = d.Shutdown(ctx) // may return context.Canceled; must still stop
+	waitServeGoroutines(t, base)
+}
+
+// TestDebugServerCloseNoLeak: the abrupt path also waits for the serve
+// goroutine.
+func TestDebugServerCloseNoLeak(t *testing.T) {
+	base := serveGoroutines()
+	d, err := ServeDebug("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	waitServeGoroutines(t, base)
+}
+
+// TestDebugServerNilLifecycle: nil receivers are no-ops, matching the
+// package's nil-tolerance convention.
+func TestDebugServerNilLifecycle(t *testing.T) {
+	var d *DebugServer
+	if err := d.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown = %v", err)
+	}
+}

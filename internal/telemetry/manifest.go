@@ -24,6 +24,20 @@ type Manifest struct {
 	GOARCH     string    `json:"goarch"`
 	GOMAXPROCS int       `json:"gomaxprocs"`
 	StartedAt  time.Time `json:"started_at"`
+	// Chaos records fault injection active during the run, so a trace or
+	// checkpoint produced under chaos can never be mistaken for a clean
+	// run's. Nil (omitted from JSON) when injection is off.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+}
+
+// ChaosSpec is the manifest record of an active fault-injection
+// configuration: the per-operation fault probability, the RNG seed that
+// makes the fault sequence reproducible, and the names of the targeted
+// filesystem operations (empty means all).
+type ChaosSpec struct {
+	Rate float64  `json:"rate"`
+	Seed uint64   `json:"seed"`
+	Ops  []string `json:"ops,omitempty"`
 }
 
 // Collect builds a manifest for tool from the running binary: Go version,

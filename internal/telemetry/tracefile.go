@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"revft/internal/chaos"
+)
+
+// FileTraceOptions configures NewTraceFile.
+type FileTraceOptions struct {
+	// FS is the filesystem the trace file is written through; nil means
+	// the direct OS filesystem. Routing it through a chaos.InjectFS is
+	// how the soak tests exercise the degradation path.
+	FS chaos.FS
+	// Retry governs per-line write retries for transient faults. The
+	// zero value uses the chaos package defaults (4 attempts, jittered
+	// exponential backoff, 2s budget).
+	Retry chaos.Policy
+	// Metrics, when non-nil, records the degradation signals:
+	// trace.events_dropped (counter) and trace.degraded (gauge, 0 or 1),
+	// both visible on the /metrics debug endpoint.
+	Metrics *Registry
+	// Warn receives the single degradation warning line; nil discards
+	// it. Typically os.Stderr.
+	Warn io.Writer
+}
+
+// FileTrace is a Trace bound to a file on a (possibly fault-injected)
+// filesystem, with the degradation policy the runtime promises: trace
+// I/O is best-effort observability, so a write failure that survives
+// retries must never abort or even perturb the run. Instead the trace
+// degrades — the file is abandoned, one warning is printed, and every
+// later event is counted in trace.events_dropped rather than written.
+// The sweep's results are unaffected; only this visibility narrows.
+type FileTrace struct {
+	*Trace
+	w *degradeWriter
+	// Path is the trace file actually created ("" once degraded before
+	// creation succeeded).
+	Path string
+}
+
+// NewTraceFile creates path through opts.FS and starts a Trace on it,
+// manifest header first. File-creation or write failures do not return
+// an error — they degrade (see FileTrace); the only error is a
+// non-encodable manifest.
+func NewTraceFile(path string, m *Manifest, opts FileTraceOptions) (*FileTrace, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	w := &degradeWriter{retry: opts.Retry, metrics: opts.Metrics, warn: opts.Warn}
+	var f chaos.File
+	err := opts.Retry.Do(context.Background(), func() error {
+		var cerr error
+		f, cerr = fsys.Create(path)
+		return cerr
+	})
+	if err != nil {
+		w.degrade(fmt.Errorf("create %s: %w", path, err))
+	} else {
+		w.f = f
+	}
+	tr, terr := NewTrace(w, m)
+	if terr != nil {
+		// degradeWriter never returns write errors, so this is a
+		// marshal failure — a programmer error worth surfacing.
+		if f != nil {
+			_ = f.Close()
+		}
+		return nil, terr
+	}
+	ft := &FileTrace{Trace: tr, w: w}
+	if f != nil {
+		ft.Path = path
+	}
+	return ft, nil
+}
+
+// Degraded reports whether the trace has abandoned its file.
+func (ft *FileTrace) Degraded() bool {
+	if ft == nil {
+		return false
+	}
+	return ft.w.isDegraded()
+}
+
+// Dropped returns the number of event lines counted instead of written.
+func (ft *FileTrace) Dropped() int64 {
+	if ft == nil {
+		return 0
+	}
+	ft.w.mu.Lock()
+	defer ft.w.mu.Unlock()
+	return ft.w.dropped
+}
+
+// Close syncs and closes the underlying file. A close error is returned
+// for reporting but the trace contents up to the last successful write
+// are already on their way to disk; degraded traces close cleanly.
+func (ft *FileTrace) Close() error {
+	if ft == nil {
+		return nil
+	}
+	return ft.w.close()
+}
+
+// degradeWriter is the io.Writer under a FileTrace. Each Write is one
+// JSONL event line (Trace writes whole lines). Transient failures are
+// retried under the policy; a persistent failure flips the writer into
+// degraded mode, after which writes succeed vacuously and are counted.
+// The Trace above therefore never records a sticky error and never
+// drops into silence — exactly one warning marks the transition.
+type degradeWriter struct {
+	retry   chaos.Policy
+	metrics *Registry
+	warn    io.Writer
+
+	mu       sync.Mutex
+	f        chaos.File // nil once degraded or closed
+	degraded bool
+	closed   bool
+	dropped  int64
+}
+
+func (w *degradeWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.degraded || w.closed {
+		w.drop()
+		return len(p), nil
+	}
+	err := w.retry.Do(context.Background(), func() error {
+		_, werr := w.f.Write(p)
+		return werr
+	})
+	if err != nil {
+		w.degrade(fmt.Errorf("write %s: %w", w.f.Name(), err))
+		w.drop()
+	}
+	return len(p), nil
+}
+
+// degrade abandons the file. Callers hold w.mu (or have exclusive
+// access, as in NewTraceFile before the writer is shared).
+func (w *degradeWriter) degrade(cause error) {
+	w.degraded = true
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	w.metrics.Gauge("trace.degraded").Set(1)
+	if w.warn != nil {
+		fmt.Fprintf(w.warn,
+			"warning: trace degraded to in-memory counters (%v); later events are counted in trace.events_dropped, the run continues\n",
+			cause)
+	}
+}
+
+func (w *degradeWriter) drop() {
+	w.dropped++
+	w.metrics.Counter("trace.events_dropped").Inc()
+}
+
+func (w *degradeWriter) isDegraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
+}
+
+func (w *degradeWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true // writes after Close count as dropped, not crash
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"revft/internal/chaos"
+)
+
+func fastPolicy(attempts int) chaos.Policy {
+	return chaos.Policy{
+		MaxAttempts: attempts,
+		Seed:        1,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+// TestFileTraceHealthy: with no faults, NewTraceFile is a plain trace
+// file — manifest header plus events, closable, nothing degraded.
+func TestFileTraceHealthy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	reg := New()
+	ft, err := NewTraceFile(path, Collect("test"), FileTraceOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Emit("point_done", map[string]any{"index": 0})
+	ft.Emit("point_done", map[string]any{"index": 1})
+	if err := ft.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Degraded() || ft.Dropped() != 0 {
+		t.Errorf("healthy trace degraded=%v dropped=%d", ft.Degraded(), ft.Dropped())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var types []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		types = append(types, ev.Type)
+	}
+	if want := []string{"manifest", "point_done", "point_done"}; len(types) != 3 || types[0] != want[0] {
+		t.Errorf("trace lines = %v, want %v", types, want)
+	}
+	if got := reg.Snapshot().Gauges["trace.degraded"]; got != 0 {
+		t.Errorf("trace.degraded = %v on a healthy run", got)
+	}
+}
+
+// TestFileTraceTransientFaultRetried: a fault that clears within the
+// retry budget leaves a complete, undegraded trace.
+func TestFileTraceTransientFaultRetried(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fail := 2
+	fsys := &chaos.InjectFS{Hook: func(op chaos.Op, p string) error {
+		if op == chaos.OpWrite && fail > 0 {
+			fail--
+			return &chaos.FaultError{Op: op, Path: p}
+		}
+		return nil
+	}}
+	ft, err := NewTraceFile(path, Collect("test"), FileTraceOptions{FS: fsys, Retry: fastPolicy(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Emit("ev", nil)
+	if err := ft.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Degraded() {
+		t.Fatal("transient fault degraded the trace")
+	}
+	b, _ := os.ReadFile(path)
+	if n := bytes.Count(b, []byte("\n")); n != 2 {
+		t.Errorf("trace has %d lines, want 2 (manifest + event):\n%s", n, b)
+	}
+}
+
+// TestFileTracePersistentFaultDegrades is the degradation contract:
+// events after the persistent failure are counted and warned about
+// exactly once, Emit never errors, and the run is never aborted.
+func TestFileTracePersistentFaultDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	broken := false
+	fsys := &chaos.InjectFS{Hook: func(op chaos.Op, p string) error {
+		if op == chaos.OpWrite && broken {
+			return &chaos.FaultError{Op: op, Path: p}
+		}
+		return nil
+	}}
+	reg := New()
+	var warn bytes.Buffer
+	ft, err := NewTraceFile(path, Collect("test"), FileTraceOptions{
+		FS: fsys, Retry: fastPolicy(2), Metrics: reg, Warn: &warn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Emit("before", nil) // written
+	broken = true
+	ft.Emit("first_failed", nil) // degrades, counted
+	ft.Emit("after", nil)        // counted
+	ft.Emit("after2", nil)       // counted
+	if !ft.Degraded() {
+		t.Fatal("persistent write failure did not degrade")
+	}
+	if got := ft.Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	if ft.Err() != nil {
+		t.Errorf("degraded trace has sticky error %v; degradation must keep Emit alive", ft.Err())
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["trace.events_dropped"]; got != 3 {
+		t.Errorf("trace.events_dropped = %d, want 3", got)
+	}
+	if got := s.Gauges["trace.degraded"]; got != 1 {
+		t.Errorf("trace.degraded = %v, want 1", got)
+	}
+	if n := strings.Count(warn.String(), "warning:"); n != 1 {
+		t.Errorf("warnings emitted %d times, want exactly 1:\n%s", n, warn.String())
+	}
+	if !strings.Contains(warn.String(), "trace degraded") {
+		t.Errorf("warning text: %q", warn.String())
+	}
+	if err := ft.Close(); err != nil {
+		t.Errorf("degraded Close = %v, want nil", err)
+	}
+	// Everything up to the failure is intact on disk.
+	b, _ := os.ReadFile(path)
+	if !bytes.Contains(b, []byte(`"before"`)) || bytes.Contains(b, []byte(`"after"`)) {
+		t.Errorf("trace file content wrong:\n%s", b)
+	}
+}
+
+// TestFileTraceCreateFailureDegradesImmediately: even the trace file
+// failing to open must not abort the run — the trace starts degraded.
+func TestFileTraceCreateFailureDegradesImmediately(t *testing.T) {
+	fsys := &chaos.InjectFS{Hook: func(op chaos.Op, p string) error {
+		if op == chaos.OpCreate {
+			return &chaos.FaultError{Op: op, Path: p}
+		}
+		return nil
+	}}
+	reg := New()
+	var warn bytes.Buffer
+	ft, err := NewTraceFile(filepath.Join(t.TempDir(), "t.jsonl"), Collect("test"),
+		FileTraceOptions{FS: fsys, Retry: fastPolicy(2), Metrics: reg, Warn: &warn})
+	if err != nil {
+		t.Fatalf("create failure must degrade, not error: %v", err)
+	}
+	if !ft.Degraded() || ft.Path != "" {
+		t.Errorf("Degraded=%v Path=%q, want degraded with no path", ft.Degraded(), ft.Path)
+	}
+	ft.Emit("ev", nil)
+	// Manifest header + event both counted.
+	if got := ft.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	if warn.Len() == 0 {
+		t.Error("no warning for create failure")
+	}
+	if err := ft.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+}
