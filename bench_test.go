@@ -112,6 +112,30 @@ func BenchmarkLanesInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkLanes256Bare and BenchmarkLanes512Bare measure the fused
+// K-word wide engine on the same gadget and noise as BenchmarkLanesBare:
+// 4- and 8-word lane blocks through the word-program compiler, with
+// MAJ/UMA triples fused and fault points grouped per sampler. ns/op is
+// still per trial, so BenchmarkLanesBare ns/op divided by these is the
+// widening speedup; CI's bench smoke step prints the ratio.
+func BenchmarkLanes256Bare(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	b.ResetTimer()
+	if _, err := g.LogicalErrorRateWideCtx(context.Background(), m, 4, b.N, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLanes512Bare(b *testing.B) {
+	g := revft.NewGadget(revft.MAJ, 1)
+	m := revft.UniformNoise(1e-3)
+	b.ResetTimer()
+	if _, err := g.LogicalErrorRateWideCtx(context.Background(), m, 8, b.N, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkHarnessScaling runs the scalar engine on the recovery gadget
 // across worker counts; ns/op is still per trial, so ideal scaling halves
 // it per doubling. This is the benchmark that regressed under the old

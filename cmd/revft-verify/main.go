@@ -20,11 +20,11 @@
 //	               71/32), the level-1 gadget's A₂ against the independent
 //	               pair enumeration and against Eq. 1's 3·C(G,2) bound, and
 //	               a closed-form NOT-chain cross-check
-//	-differential  run both Monte Carlo engines (scalar and 64-lane) against
-//	               the oracle's exact P(ε) on the recovery and the level-1
-//	               MAJ gadget, failing if any estimate's 3σ Wilson interval
-//	               misses the exact value; -trials, -workers, and -seed
-//	               control the runs
+//	-differential  run the Monte Carlo engines (scalar, 64-lane, and the
+//	               fused 256-lane wide engine) against the oracle's exact
+//	               P(ε) on the recovery and the level-1 MAJ gadget, failing
+//	               if any estimate's 3σ Wilson interval misses the exact
+//	               value; -trials, -workers, and -seed control the runs
 //	-trace f.jsonl write a JSONL event stream: a manifest header, one event
 //	               per check, one per (ε, engine) differential verdict, and
 //	               a closing summary
@@ -73,7 +73,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("revft-verify", flag.ContinueOnError)
 	var (
 		exactMode    = fs.Bool("exact", false, "add the exhaustive fault-enumeration oracle checks")
-		differential = fs.Bool("differential", false, "verify both Monte Carlo engines against the exact oracle (3σ Wilson)")
+		differential = fs.Bool("differential", false, "verify the Monte Carlo engines (scalar, lanes, lanes256) against the exact oracle (3σ Wilson)")
 		trials       = fs.Int("trials", 200000, "Monte Carlo trials per (ε, engine) differential point")
 		workers      = fs.Int("workers", 0, "parallel workers for the differential runs (0 = GOMAXPROCS)")
 		seed         = fs.Uint64("seed", 7, "base random seed for the differential runs")
@@ -230,10 +230,11 @@ func checkOracleNOTChain() error {
 	return nil
 }
 
-// runDifferential checks both Monte Carlo engines against the oracle on
-// two targets — the recovery with its fully enumerated polynomial, and the
+// runDifferential checks the three Monte Carlo engines — scalar, 64-lane,
+// and the fused 4-word (256-lane) wide engine — against the oracle on two
+// targets: the recovery with its fully enumerated polynomial, and the
 // level-1 MAJ gadget with a weight-3 truncation whose tail bound widens
-// the acceptance interval — and prints the verdict tables. It returns the
+// the acceptance interval. It prints the verdict tables and returns the
 // number of (ε, engine) disagreements.
 func runDifferential(p exp.MCParams, tr *telemetry.Trace) (int, error) {
 	fmt.Println()
@@ -252,7 +253,7 @@ func runDifferential(p exp.MCParams, tr *telemetry.Trace) (int, error) {
 			return bad, fmt.Errorf("%s: %w", r.target.Name, err)
 		}
 		pts, err := exp.Differential(context.Background(), r.target, poly, r.eps,
-			exp.MCParams{Trials: p.Trials, Workers: p.Workers, Seed: p.Seed + uint64(1000*i)}, tr)
+			exp.MCParams{Trials: p.Trials, Workers: p.Workers, Seed: p.Seed + uint64(1000*i)}, 4, tr)
 		if err != nil {
 			return bad, fmt.Errorf("%s: %w", r.target.Name, err)
 		}

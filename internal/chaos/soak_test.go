@@ -198,4 +198,3 @@ func soakOnce(t *testing.T, spec sweep.Spec, ref *sweep.Outcome, rate float64, s
 		t.Errorf("undegraded trace dropped %d events", ft.Dropped())
 	}
 }
-

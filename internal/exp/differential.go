@@ -1,13 +1,14 @@
 package exp
 
-// Differential verification: both Monte Carlo engines against the exact
+// Differential verification: the Monte Carlo engines against the exact
 // fault-enumeration oracle. For a grid of ε values the harness runs the
-// scalar and the 64-lane engines on the same target and requires each
-// estimate's 3σ Wilson interval to intersect the oracle's exact interval
-// [P_W(ε), P_W(ε)+tail] — a point for full enumerations. One engine
-// disagreeing fingers that engine; both disagreeing fingers the model or
-// the oracle. revft-verify -differential and the exact-verify CI job run
-// this; the property tests in this package run it on random circuits.
+// scalar and the 64-lane engines — and, when requested, a fused K-word
+// wide engine — on the same target and requires each estimate's 3σ Wilson
+// interval to intersect the oracle's exact interval [P_W(ε), P_W(ε)+tail]
+// — a point for full enumerations. One engine disagreeing fingers that
+// engine; all disagreeing fingers the model or the oracle. revft-verify
+// -differential and the exact-verify CI job run this; the property tests
+// in this package run it on random circuits.
 
 import (
 	"context"
@@ -90,6 +91,55 @@ func TargetBatch(t exact.Target, m noise.Model) sim.BatchTrial {
 	}
 }
 
+// TargetBatchWide is TargetBatch on a words-wide lane block: the target
+// is compiled through the fused word-program compiler and each batch
+// covers 64·words lanes, with the per-lane ideal reference computed
+// through t.Logical word by word.
+func TargetBatchWide(t exact.Target, m noise.Model, words int) sim.WideBatchTrial {
+	prog := lanes.CompileWide(t.Circuit, m, words)
+	nin, nout := len(t.In), len(t.Out)
+	return func(r *rng.RNG, hit []uint64) {
+		st := lanes.NewWideState(t.Circuit.Width(), words)
+		ins := make([][]uint64, nin)
+		for i := range ins {
+			ins[i] = make([]uint64, words)
+			for k := range ins[i] {
+				ins[i][k] = r.Uint64()
+			}
+		}
+		for i, wires := range t.In {
+			st.EncodeBlock(wires, ins[i])
+		}
+		prog.Run(st, r)
+		want := make([][]uint64, nout)
+		for o := range want {
+			want[o] = make([]uint64, words)
+		}
+		for k := 0; k < words; k++ {
+			for lane := 0; lane < 64; lane++ {
+				var in uint64
+				for i := 0; i < nin; i++ {
+					in |= ins[i][k] >> uint(lane) & 1 << uint(i)
+				}
+				w := t.Logical(in)
+				for o := 0; o < nout; o++ {
+					want[o][k] |= w >> uint(o) & 1 << uint(lane)
+				}
+			}
+		}
+		for k := range hit {
+			hit[k] = 0
+		}
+		dec := make([]uint64, words)
+		for i, wires := range t.Out {
+			st.DecodeBlock(wires, dec)
+			for k := range hit {
+				hit[k] |= dec[k] ^ want[i][k]
+			}
+		}
+	}
+}
+
 // blockLevels maps codeword block lengths (3^L wires) to their levels.
 func blockLevels(blocks [][]int) []int {
 	out := make([]int, len(blocks))
@@ -100,22 +150,34 @@ func blockLevels(blocks [][]int) []int {
 }
 
 // DiffPoint is the differential verdict at one ε: the oracle's exact
-// interval, both engines' estimates, and whether each engine's 3σ Wilson
-// interval intersects the exact one.
+// interval, each engine's estimate, and whether each engine's 3σ Wilson
+// interval intersects the exact one. Wide/WideOK are only meaningful when
+// the run requested a wide engine; WideLanes records its lane count
+// (64·words) then, and is 0 otherwise.
 type DiffPoint struct {
-	Eps              float64
-	ExactLo, ExactHi float64
-	Scalar, Lanes    stats.Bernoulli
+	Eps               float64
+	ExactLo, ExactHi  float64
+	Scalar, Lanes     stats.Bernoulli
 	ScalarOK, LanesOK bool
+	Wide              stats.Bernoulli
+	WideOK            bool
+	WideLanes         int
 }
 
-// Differential runs both engines against poly at every ε in eps and
+// Differential runs the engines against poly at every ε in eps and
 // returns the per-ε verdicts. poly must come from Enumerate on t (its
-// SkipInit flag selects the matching noise accounting). Each (ε, engine)
-// verdict is also emitted as a "differential" trace event when tr is
-// non-nil. The run is cancellable; on cancellation the completed points
-// are returned with the error.
-func Differential(ctx context.Context, t exact.Target, poly *exact.Poly, eps []float64, p MCParams, tr *telemetry.Trace) ([]DiffPoint, error) {
+// SkipInit flag selects the matching noise accounting). wideWords > 0
+// adds a third run per ε on the fused wideWords-word lane-block engine;
+// 0 keeps the original two-engine check and its exact seed streams
+// (seed strides 2 per ε without the wide engine, 3 with it). Each
+// (ε, engine) verdict is also emitted as a "differential" trace event
+// when tr is non-nil. The run is cancellable; on cancellation the
+// completed points are returned with the error.
+func Differential(ctx context.Context, t exact.Target, poly *exact.Poly, eps []float64, p MCParams, wideWords int, tr *telemetry.Trace) ([]DiffPoint, error) {
+	stride := 2
+	if wideWords > 0 {
+		stride = 3
+	}
 	var out []DiffPoint
 	for i, e := range eps {
 		var m noise.Model
@@ -127,7 +189,7 @@ func Differential(ctx context.Context, t exact.Target, poly *exact.Poly, eps []f
 		lo, hi := poly.Bounds(e)
 		pt := DiffPoint{Eps: e, ExactLo: lo, ExactHi: hi}
 
-		scalar, err := sim.MonteCarloCtx(ctx, p.Trials, p.Workers, p.Seed+uint64(2*i), TargetTrial(t, m))
+		scalar, err := sim.MonteCarloCtx(ctx, p.Trials, p.Workers, p.Seed+uint64(stride*i), TargetTrial(t, m))
 		pt.Scalar = scalar.Bernoulli
 		pt.ScalarOK = overlapsExact(pt.Scalar, lo, hi)
 		emitDifferential(tr, t.Name, pt, "scalar", pt.Scalar, pt.ScalarOK)
@@ -135,10 +197,22 @@ func Differential(ctx context.Context, t exact.Target, poly *exact.Poly, eps []f
 			out = append(out, pt)
 			return out, err
 		}
-		lanesRes, err := sim.MonteCarloLanesCtx(ctx, p.Trials, p.Workers, p.Seed+uint64(2*i+1), TargetBatch(t, m))
+		lanesRes, err := sim.MonteCarloLanesCtx(ctx, p.Trials, p.Workers, p.Seed+uint64(stride*i+1), TargetBatch(t, m))
 		pt.Lanes = lanesRes.Bernoulli
 		pt.LanesOK = overlapsExact(pt.Lanes, lo, hi)
 		emitDifferential(tr, t.Name, pt, "lanes", pt.Lanes, pt.LanesOK)
+		if err != nil {
+			out = append(out, pt)
+			return out, err
+		}
+		if wideWords > 0 {
+			wideRes, werr := sim.MonteCarloWideCtx(ctx, p.Trials, p.Workers, p.Seed+uint64(stride*i+2), wideWords, TargetBatchWide(t, m, wideWords))
+			pt.Wide = wideRes.Bernoulli
+			pt.WideOK = overlapsExact(pt.Wide, lo, hi)
+			pt.WideLanes = 64 * wideWords
+			emitDifferential(tr, t.Name, pt, fmt.Sprintf("lanes%d", pt.WideLanes), pt.Wide, pt.WideOK)
+			err = werr
+		}
 		out = append(out, pt)
 		if err != nil {
 			return out, err
@@ -169,16 +243,29 @@ func emitDifferential(tr *telemetry.Trace, target string, pt DiffPoint, engine s
 }
 
 // DifferentialTable renders the verdicts, with one note per disagreement
-// and the count of failing (ε, engine) checks in the returned int.
+// and the count of failing (ε, engine) checks in the returned int. When
+// the points carry wide-engine results (WideLanes > 0), the table grows a
+// column pair for that engine.
 func DifferentialTable(t exact.Target, poly *exact.Poly, pts []DiffPoint) (*Table, int) {
 	kind := "exact"
 	if !poly.Exact() {
 		kind = fmt.Sprintf("weight ≤ %d of %d", poly.MaxWeight, poly.N)
 	}
+	wideName := ""
+	for _, pt := range pts {
+		if pt.WideLanes > 0 {
+			wideName = fmt.Sprintf("lanes%d", pt.WideLanes)
+			break
+		}
+	}
+	header := []string{"eps", "exact P(eps)", "scalar", "scalar ok", "lanes", "lanes ok"}
+	if wideName != "" {
+		header = append(header, wideName, wideName+" ok")
+	}
 	tab := &Table{
 		ID:     "DIFF",
 		Title:  fmt.Sprintf("Differential verification: %s vs exact P(ε) (%s), 3σ Wilson", t.Name, kind),
-		Header: []string{"eps", "exact P(eps)", "scalar", "scalar ok", "lanes", "lanes ok"},
+		Header: header,
 	}
 	bad := 0
 	for _, pt := range pts {
@@ -186,12 +273,22 @@ func DifferentialTable(t exact.Target, poly *exact.Poly, pts []DiffPoint) (*Tabl
 		if pt.ExactHi > pt.ExactLo {
 			ex = fmt.Sprintf("[%.4g, %.4g]", pt.ExactLo, pt.ExactHi)
 		}
-		tab.AddRow(pt.Eps, ex, pt.Scalar.Rate(), pt.ScalarOK, pt.Lanes.Rate(), pt.LanesOK)
-		for _, e := range []struct {
+		row := []any{pt.Eps, ex, pt.Scalar.Rate(), pt.ScalarOK, pt.Lanes.Rate(), pt.LanesOK}
+		engines := []struct {
 			name string
 			b    stats.Bernoulli
 			ok   bool
-		}{{"scalar", pt.Scalar, pt.ScalarOK}, {"lanes", pt.Lanes, pt.LanesOK}} {
+		}{{"scalar", pt.Scalar, pt.ScalarOK}, {"lanes", pt.Lanes, pt.LanesOK}}
+		if wideName != "" {
+			row = append(row, pt.Wide.Rate(), pt.WideOK)
+			engines = append(engines, struct {
+				name string
+				b    stats.Bernoulli
+				ok   bool
+			}{wideName, pt.Wide, pt.WideOK})
+		}
+		tab.AddRow(row...)
+		for _, e := range engines {
 			if !e.ok {
 				bad++
 				wlo, whi := e.b.Wilson(DifferentialZ)
@@ -201,7 +298,7 @@ func DifferentialTable(t exact.Target, poly *exact.Poly, pts []DiffPoint) (*Tabl
 		}
 	}
 	if bad == 0 {
-		tab.AddNote("both engines agree with the oracle at every ε (A1 = 0 proven exhaustively; A2 = %.6g)", poly.CoeffFloat(2))
+		tab.AddNote("every engine agrees with the oracle at every ε (A1 = 0 proven exhaustively; A2 = %.6g)", poly.CoeffFloat(2))
 	}
 	return tab, bad
 }

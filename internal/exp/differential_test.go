@@ -48,13 +48,13 @@ func TestLanesKernelsMatchScalarLaneForLane(t *testing.T) {
 }
 
 // TestEnginesMatchExactOnRandomCircuits is the randomized differential
-// property test: on circuits nobody hand-picked, both engines' estimates
-// must land inside a generous Wilson interval of the oracle's exact
-// failure probability. The trial count is deliberately not a multiple of
-// 64 so the lanes engine's partial-batch tail masking is exercised every
-// run; ε = 1 exercises the always-fault mask path.
+// property test: on circuits nobody hand-picked, all three engines'
+// estimates must land inside a generous Wilson interval of the oracle's
+// exact failure probability. The trial count is deliberately not a
+// multiple of 64 (or 256) so the lane engines' partial-batch tail masking
+// is exercised every run; ε = 1 exercises the always-fault mask path.
 func TestEnginesMatchExactOnRandomCircuits(t *testing.T) {
-	const trials = 20011 // prime: every lanes run ends in a partial batch
+	const trials = 20011 // prime: every lane-engine run ends in a partial batch
 	for seed := uint64(1); seed <= 6; seed++ {
 		r := rng.New(seed)
 		width := 3 + r.Intn(3) // 3..5
@@ -68,20 +68,26 @@ func TestEnginesMatchExactOnRandomCircuits(t *testing.T) {
 		for _, eps := range []float64{0.05, 0.3, 1} {
 			p := poly.Eval(eps)
 			pts, err := Differential(context.Background(), tgt, poly,
-				[]float64{eps}, MCParams{Trials: trials, Workers: 2, Seed: 100 * seed}, nil)
+				[]float64{eps}, MCParams{Trials: trials, Workers: 2, Seed: 100 * seed}, 4, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			pt := pts[0]
-			if pt.Scalar.Trials != trials || pt.Lanes.Trials != trials {
-				t.Fatalf("seed %d: trial counts %d/%d, want %d", seed, pt.Scalar.Trials, pt.Lanes.Trials, trials)
+			if pt.Scalar.Trials != trials || pt.Lanes.Trials != trials || pt.Wide.Trials != trials {
+				t.Fatalf("seed %d: trial counts %d/%d/%d, want %d",
+					seed, pt.Scalar.Trials, pt.Lanes.Trials, pt.Wide.Trials, trials)
+			}
+			if pt.WideLanes != 256 {
+				t.Fatalf("seed %d: WideLanes = %d, want 256", seed, pt.WideLanes)
 			}
 			// z = 4 (≈6e-5 two-sided) keeps the deterministic seeds far
 			// from the boundary while still detecting real estimator bias.
 			for _, e := range []struct {
 				name string
-				b    interface{ Wilson(float64) (float64, float64) }
-			}{{"scalar", pt.Scalar}, {"lanes", pt.Lanes}} {
+				b    interface {
+					Wilson(float64) (float64, float64)
+				}
+			}{{"scalar", pt.Scalar}, {"lanes", pt.Lanes}, {"lanes256", pt.Wide}} {
 				lo, hi := e.b.Wilson(4)
 				if p < lo || p > hi {
 					t.Errorf("seed %d ε=%v %s: exact %v outside 4σ Wilson [%v, %v]",
@@ -93,9 +99,9 @@ func TestEnginesMatchExactOnRandomCircuits(t *testing.T) {
 }
 
 // TestDifferentialRecovery pins the full harness on the §2.2 recovery
-// circuit: full enumeration, both engines, 3σ acceptance at every ε. This
-// is the regression test the satellite asks for — engine estimates pinned
-// to the oracle's exact values.
+// circuit: full enumeration, all three engines (wideWords = 8 adds the
+// 512-lane fused engine), 3σ acceptance at every ε — engine estimates
+// pinned to the oracle's exact values.
 func TestDifferentialRecovery(t *testing.T) {
 	tgt := exact.Recovery()
 	poly, err := exact.Enumerate(tgt, exact.Options{})
@@ -106,7 +112,7 @@ func TestDifferentialRecovery(t *testing.T) {
 		t.Fatal("recovery lost single-fault tolerance")
 	}
 	pts, err := Differential(context.Background(), tgt, poly,
-		[]float64{1e-2, 5e-2, 0.2}, MCParams{Trials: 50000, Workers: 2, Seed: 7}, nil)
+		[]float64{1e-2, 5e-2, 0.2}, MCParams{Trials: 50000, Workers: 2, Seed: 7}, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +140,7 @@ func TestDifferentialGadgetTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts, err := Differential(context.Background(), tgt, poly,
-		[]float64{3e-3, 1e-2}, MCParams{Trials: 100000, Workers: 2, Seed: 11}, nil)
+		[]float64{3e-3, 1e-2}, MCParams{Trials: 100000, Workers: 2, Seed: 11}, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,22 @@ const (
 	// EngineLanes runs 64 bit-sliced trials per batch
 	// (sim.MonteCarloLanes with the internal/lanes word kernels).
 	EngineLanes = "lanes"
+	// EngineLanes256 runs 256 bit-sliced trials per batch on 4-word lane
+	// blocks through the fused word-program compiler (lanes.CompileWide).
+	EngineLanes256 = "lanes256"
+	// EngineLanes512 is the 8-word, 512-lane variant of EngineLanes256.
+	EngineLanes512 = "lanes512"
 )
+
+// ValidEngine reports whether name selects a known engine ("" selects
+// EngineScalar).
+func ValidEngine(name string) bool {
+	switch name {
+	case "", EngineScalar, EngineLanes, EngineLanes256, EngineLanes512:
+		return true
+	}
+	return false
+}
 
 // MCParams controls the Monte Carlo experiment drivers.
 type MCParams struct {
@@ -37,15 +52,27 @@ type MCParams struct {
 	// Seed makes every experiment reproducible.
 	Seed uint64
 	// Engine selects the execution engine for the drivers that support
-	// both: EngineScalar (default) or EngineLanes. The engines agree
-	// statistically but consume randomness differently, so switching
-	// engines changes individual estimates within their confidence
-	// intervals.
+	// more than one: EngineScalar (default), EngineLanes, EngineLanes256,
+	// or EngineLanes512. The engines agree statistically but consume
+	// randomness differently, so switching engines changes individual
+	// estimates within their confidence intervals.
 	Engine string
 }
 
 // useLanes reports whether the 64-lane engine was requested.
 func (p MCParams) useLanes() bool { return p.Engine == EngineLanes }
+
+// wideWords returns the lane-block word count of the wide engines (4 for
+// EngineLanes256, 8 for EngineLanes512) and 0 for every other engine.
+func (p MCParams) wideWords() int {
+	switch p.Engine {
+	case EngineLanes256:
+		return 4
+	case EngineLanes512:
+		return 8
+	}
+	return 0
+}
 
 // DefaultMCParams returns sensible defaults for interactive runs.
 func DefaultMCParams() MCParams {
@@ -146,6 +173,51 @@ func cycleBatch(ctx context.Context, label string, c *lattice.Cycle, m noise.Mod
 // cycleErrorRateLanes is cycleErrorRate on the 64-lane engine.
 func cycleErrorRateLanes(c *lattice.Cycle, m noise.Model, trials, workers int, seed uint64) stats.Bernoulli {
 	return sim.MonteCarloLanes(trials, workers, seed, cycleBatch(context.Background(), "cycle", c, m))
+}
+
+// cycleBatchWide is cycleBatch on a words-wide lane block: the cycle is
+// compiled once through the fused word-program compiler and each batch
+// advances 64·words trials. Telemetry keys match cycleBatch — per-source-op
+// fault counters are unaffected by fusion.
+func cycleBatchWide(ctx context.Context, label string, c *lattice.Cycle, m noise.Model, words int) sim.WideBatchTrial {
+	prog := lanes.CompileWide(c.Circuit, m, words)
+	var instr *lanes.Instr
+	if reg := telemetry.Active(ctx); reg != nil {
+		instr = &lanes.Instr{
+			Faults:   reg.Counter("lanes.faults"),
+			OpFaults: reg.CounterVec("lanes.op_faults."+label, c.Circuit.OpLabels()),
+		}
+	}
+	nin := len(c.In)
+	return func(r *rng.RNG, hit []uint64) {
+		st := lanes.NewWideState(c.Circuit.Width(), words)
+		ins := make([][]uint64, nin)
+		for i := range ins {
+			ins[i] = make([]uint64, words)
+			for k := range ins[i] {
+				ins[i][k] = r.Uint64()
+			}
+		}
+		for i, wires := range c.In {
+			st.EncodeBlock(wires, ins[i])
+		}
+		prog.RunInstr(st, r, instr)
+		want := make([][]uint64, nin)
+		for i := range want {
+			want[i] = append([]uint64(nil), ins[i]...)
+		}
+		lanes.EvalWide(c.Kind, want)
+		for k := range hit {
+			hit[k] = 0
+		}
+		dec := make([]uint64, words)
+		for i, wires := range c.Out {
+			st.DecodeBlock(wires, dec)
+			for k := range hit {
+				hit[k] |= dec[k] ^ want[i][k]
+			}
+		}
+	}
 }
 
 // EntropyMeasured measures the ancilla entropy of one noisy recovery cycle

@@ -86,7 +86,7 @@ func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner 
 func (o SweepOptions) recordGateCounts(experiment string, counts map[string]int) {
 	if o.Metrics != nil {
 		for name, v := range counts {
-			o.Metrics.Gauge("exp."+experiment+"."+name).Set(float64(v))
+			o.Metrics.Gauge("exp." + experiment + "." + name).Set(float64(v))
 		}
 	}
 	if o.Trace != nil {
@@ -124,6 +124,9 @@ func sweepSpec(experiment string, grid []float64, points int, p MCParams, o Swee
 // gadgetRateCtx dispatches a gadget's cancellable logical-error-rate
 // estimate to the selected engine.
 func gadgetRateCtx(ctx context.Context, g *core.Gadget, m noise.Model, p MCParams, trials int, seed uint64) (sim.Result, error) {
+	if w := p.wideWords(); w > 0 {
+		return g.LogicalErrorRateWideCtx(ctx, m, w, trials, p.Workers, seed)
+	}
 	if p.useLanes() {
 		return g.LogicalErrorRateLanesCtx(ctx, m, trials, p.Workers, seed)
 	}
@@ -134,6 +137,9 @@ func gadgetRateCtx(ctx context.Context, g *core.Gadget, m noise.Model, p MCParam
 // to the selected engine. label keys the cycle's per-gate-location fault
 // telemetry ("cycle2d" or "cycle1d").
 func cycleRateCtx(ctx context.Context, label string, c *lattice.Cycle, m noise.Model, p MCParams, trials int, seed uint64) (sim.Result, error) {
+	if w := p.wideWords(); w > 0 {
+		return sim.MonteCarloWideCtx(ctx, trials, p.Workers, seed, w, cycleBatchWide(ctx, label, c, m, w))
+	}
 	if p.useLanes() {
 		return sim.MonteCarloLanesCtx(ctx, trials, p.Workers, seed, cycleBatch(ctx, label, c, m))
 	}
@@ -338,17 +344,23 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 		sf := sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk)
 		var bare, ft sim.Result
 		var rerr error
-		if p.useLanes() {
+		switch {
+		case p.wideWords() > 0:
+			bare, rerr = core.UnprotectedErrorRateWideCtx(ctx, logical, in, nm, p.wideWords(), trials, p.Workers, sb)
+		case p.useLanes():
 			bare, rerr = core.UnprotectedErrorRateLanesCtx(ctx, logical, in, nm, trials, p.Workers, sb)
-		} else {
+		default:
 			bare, rerr = core.UnprotectedErrorRateCtx(ctx, logical, in, nm, trials, p.Workers, sb)
 		}
 		if rerr != nil {
 			return []stats.Bernoulli{bare.Bernoulli, {}}, rerr
 		}
-		if p.useLanes() {
+		switch {
+		case p.wideWords() > 0:
+			ft, rerr = m.ErrorRateWideCtx(ctx, in, nm, p.wideWords(), trials, p.Workers, sf)
+		case p.useLanes():
 			ft, rerr = m.ErrorRateLanesCtx(ctx, in, nm, trials, p.Workers, sf)
-		} else {
+		default:
 			ft, rerr = m.ErrorRateCtx(ctx, in, nm, trials, p.Workers, sf)
 		}
 		return []stats.Bernoulli{bare.Bernoulli, ft.Bernoulli}, rerr

@@ -164,6 +164,15 @@ func (p *Program) RunNoiseless(st State) {
 // tallies them by gate location (slot i = op i, labelled by
 // circuit.OpLabels). Either field may be nil.
 //
+// The counts are per lane SLOT, not per counted trial: the engine always
+// simulates all 64 lanes of a batch, so when a harness discards excess
+// lanes of a partial final batch (sim.MonteCarloLanes masks them out of
+// the hit count), faults that fired in those discarded slots are still
+// tallied here. Per-trial fault rates must therefore be normalized by the
+// harness's simulated-slot count ("lanes.slots" in the sim telemetry),
+// never by its counted-trial count ("lanes.trials"); the two differ
+// whenever trials is not a multiple of the lane count.
+//
 // The counters are touched only when a fault event actually occurs, so at
 // the small fault probabilities the experiments sweep the expected cost is
 // a few atomic adds per 64-lane batch — the same place the engine already
@@ -176,13 +185,16 @@ type Instr struct {
 // Run executes the program on st under the compiled noise model, drawing
 // randomness from r. After each op a Bernoulli mask selects the faulted
 // lanes, whose target bits are replaced with uniform random values. It
-// returns the total number of (op, lane) fault events.
+// returns the total number of (op, lane) fault events across all 64 lane
+// slots — including slots a harness later discards as excess of a partial
+// final batch; see Instr for the slot-vs-trial accounting.
 func (p *Program) Run(st State, r *rng.RNG) int {
 	return p.RunInstr(st, r, nil)
 }
 
 // RunInstr is Run with optional fault telemetry: when in is non-nil, every
-// fault event is also tallied into in's counters. A nil in is exactly Run.
+// fault event is also tallied into in's counters (per lane slot, per
+// Instr). A nil in is exactly Run.
 func (p *Program) RunInstr(st State, r *rng.RNG, in *Instr) int {
 	if len(st) < p.width {
 		panic(fmt.Sprintf("lanes: state width %d < program width %d", len(st), p.width))

@@ -295,3 +295,73 @@ func TestBroadcast(t *testing.T) {
 		t.Fatal("Broadcast is not all-ones / all-zeros")
 	}
 }
+
+// TestBernoulliMaskInfiniteLogq drives the hot-path sampler directly at
+// its numeric edge: p = 1 precompiles to logq = log1p(-1) = -Inf, and the
+// p >= 1 guard must short-circuit before the geometric division ever sees
+// the infinity (0/-Inf would silently produce a zero gap loop).
+func TestBernoulliMaskInfiniteLogq(t *testing.T) {
+	r := rng.New(9)
+	logq := math.Log1p(-1.0)
+	if !math.IsInf(logq, -1) {
+		t.Fatalf("log1p(-1) = %v, want -Inf", logq)
+	}
+	for i := 0; i < 100; i++ {
+		if m := bernoulliMask(r, 1, logq); m != ^uint64(0) {
+			t.Fatalf("p=1, logq=-Inf: mask = %064b, want all ones", m)
+		}
+	}
+}
+
+// TestBernoulliMaskTinyP checks the opposite extreme: at p = 1e-12 the
+// geometric gap is ~1e12 lanes, so virtually every draw must take the
+// early exit with an empty mask rather than losing the gap to float
+// truncation and setting spurious bits.
+func TestBernoulliMaskTinyP(t *testing.T) {
+	const p = 1e-12
+	logq := math.Log1p(-p)
+	r := rng.New(10)
+	const draws = 200000
+	total := 0
+	for i := 0; i < draws; i++ {
+		total += bits.OnesCount64(bernoulliMask(r, p, logq))
+	}
+	// Expected hits: draws·64·p ≈ 1.3e-5. More than a couple means the
+	// skip arithmetic is broken, not bad luck.
+	if total > 2 {
+		t.Fatalf("p=1e-12: %d hits in %d draws (expected ~0)", total, draws)
+	}
+}
+
+// TestBernoulliMaskChiSquareHalf is a goodness-of-fit check at p = 0.5,
+// where the geometric-skip construction degenerates to gap ~ Geometric(1/2)
+// and any bias in the inversion or the lane walk would be largest. The
+// per-lane counts over many draws are tested against Binomial(draws, 1/2)
+// with a chi-square statistic at 64 degrees of freedom.
+func TestBernoulliMaskChiSquareHalf(t *testing.T) {
+	const p = 0.5
+	logq := math.Log1p(-p)
+	r := rng.New(11)
+	const draws = 100000
+	perLane := make([]int, 64)
+	for i := 0; i < draws; i++ {
+		m := bernoulliMask(r, p, logq)
+		for m != 0 {
+			l := bits.TrailingZeros64(m)
+			perLane[l]++
+			m &= m - 1
+		}
+	}
+	chi2 := 0.0
+	mean := draws * p
+	variance := draws * p * (1 - p)
+	for _, c := range perLane {
+		d := float64(c) - mean
+		chi2 += d * d / variance
+	}
+	// 130 is far beyond the 99.99% quantile of χ²(64) ≈ 117; the seed is
+	// fixed, so a failure is a real distributional defect.
+	if chi2 > 130 {
+		t.Fatalf("per-lane χ² = %v over 64 df (threshold 130): %v", chi2, perLane)
+	}
+}

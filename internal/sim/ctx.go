@@ -1,13 +1,13 @@
 package sim
 
 // Context-aware Monte Carlo engines: the cancellable, panic-isolating
-// counterparts of MonteCarlo and MonteCarloLanes. Long sweeps near
-// threshold run minutes to hours, so these variants let a deadline or
-// SIGINT stop a run between trial batches and still hand back the partial
-// estimate accumulated so far, and they convert a panicking trial into a
-// typed, reproducible error instead of crashing the process.
+// counterparts of MonteCarlo, MonteCarloLanes, and MonteCarloWide. Long
+// sweeps near threshold run minutes to hours, so these variants let a
+// deadline or SIGINT stop a run between trial batches and still hand back
+// the partial estimate accumulated so far, and they convert a panicking
+// trial into a typed, reproducible error instead of crashing the process.
 //
-// Both engines are instrumented through the telemetry registry resolved
+// The engines are instrumented through the telemetry registry resolved
 // from the context (telemetry.Active): completed trials globally and per
 // worker, sampled batch latency, per-worker wall time, lane-slot
 // utilization, and panic counts keyed by worker and seed. With telemetry
@@ -76,8 +76,8 @@ type workerInstr struct {
 	trials  *telemetry.Counter   // telemetry.TrialsMetric: global completed trials
 	wtrials *telemetry.Counter   // this worker's completed trials
 	batches *telemetry.Counter   // batches/chunks completed
-	lanesTr *telemetry.Counter   // lanes engine only: counted lane trials
-	slots   *telemetry.Counter   // lanes engine only: simulated lane slots
+	lanesTr *telemetry.Counter   // lane engines only: counted lane trials
+	slots   *telemetry.Counter   // lane engines only: simulated lane slots (see below)
 	lat     *telemetry.Histogram // sampled batch latency, seconds
 	tick    uint
 }
@@ -130,65 +130,118 @@ func MonteCarloCtx(ctx context.Context, trials, workers int, seed uint64, trial 
 
 // MonteCarloLanesCtx is MonteCarloLanes under a context, with the same
 // cancellation, partial-result, and panic-isolation semantics as
-// MonteCarloCtx. The context is checked between 64-lane batches.
+// MonteCarloCtx. The context is checked between 64-lane batches. It is
+// the words = 1 case of the shared lane-block body, so its RNG
+// consumption, counting, and telemetry are exactly the pre-wide engine's.
 func MonteCarloLanesCtx(ctx context.Context, trials, workers int, seed uint64, batch BatchTrial) (Result, error) {
 	return monteCarloCtx(ctx, trials, workers, 64, seed,
-		func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr) {
-			// Lane batches are only microseconds each, so telemetry counts
-			// accumulate locally and flush every flushEvery batches (and
-			// at exit, including panic unwinds — the deferred flush) to
-			// keep the instrumented engine within its throughput budget.
-			const flushEvery = 16
-			var fb, ft, fs int64
-			flush := func() {
-				if fb == 0 {
-					return
-				}
-				wi.batches.Add(fb)
-				wi.trials.Add(ft)
-				wi.wtrials.Add(ft)
-				wi.lanesTr.Add(ft)
-				wi.slots.Add(fs)
-				fb, ft, fs = 0, 0, 0
+		wideBody(1, func(r *rng.RNG, hit []uint64) { hit[0] = batch(r) }))
+}
+
+// MonteCarloWideCtx runs trials independent lanes of batch on K-word lane
+// blocks (words words of 64 lanes each, so one batch call advances
+// 64·words trials), with MonteCarloCtx's cancellation, partial-result,
+// and panic-isolation semantics. Worker seeding follows MonteCarlo
+// exactly, so results are reproducible for a fixed (seed, workers, words).
+func MonteCarloWideCtx(ctx context.Context, trials, workers int, seed uint64, words int, batch WideBatchTrial) (Result, error) {
+	if words < 1 {
+		return Result{}, fmt.Errorf("sim: wide engine needs at least 1 word per block, got %d", words)
+	}
+	return monteCarloCtx(ctx, trials, workers, 64*words, seed, wideBody(words, batch))
+}
+
+// wideBody is the shared worker body of the lane-block engines: one batch
+// call fills a words-long hit-mask block covering 64·words trial lanes.
+// The final batch of a worker's share may cover fewer trials than the
+// block holds; its excess lane slots are simulated but masked out of the
+// hit mask before counting, so every counted trial runs exactly once.
+//
+// Slot-vs-trial accounting: the harness counters "lanes.trials" and
+// telemetry.TrialsMetric count counted trials, while "lanes.slots" counts
+// simulated lane slots including the masked excess. Fault-injection
+// counters (lanes.faults, lanes.op_faults.*) are recorded inside the
+// batch, which cannot know which of its slots the harness will discard —
+// so fault rates must be normalized by lanes.slots, not lanes.trials.
+// See lanes.Instr for the same contract at the engine level.
+func wideBody(words int, batch WideBatchTrial) func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr) {
+	unit := 64 * words
+	return func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr) {
+		// Lane batches are only microseconds each, so telemetry counts
+		// accumulate locally and flush every flushEvery batches (and
+		// at exit, including panic unwinds — the deferred flush) to
+		// keep the instrumented engine within its throughput budget.
+		const flushEvery = 16
+		var fb, ft, fs int64
+		flush := func() {
+			if fb == 0 {
+				return
 			}
-			defer flush()
-			for remaining := n; remaining > 0; {
-				if stop() {
-					return
-				}
-				sample := wi.lat != nil && wi.tick&latSampleMask == 0
-				wi.tick++
-				var t0 time.Time
-				if sample {
-					t0 = time.Now()
-				}
-				m := batch(r)
-				if sample {
-					wi.lat.Observe(time.Since(t0).Seconds())
-				}
-				c := 64
-				if remaining < 64 {
-					m &= 1<<uint(remaining) - 1
-					c = remaining
-				}
-				remaining -= c
-				*hits += bits.OnesCount64(m)
-				*done += c
-				fb++
-				ft += int64(c)
-				fs += 64
-				if fb == flushEvery {
-					flush()
-				}
+			wi.batches.Add(fb)
+			wi.trials.Add(ft)
+			wi.wtrials.Add(ft)
+			wi.lanesTr.Add(ft)
+			wi.slots.Add(fs)
+			fb, ft, fs = 0, 0, 0
+		}
+		defer flush()
+		hit := make([]uint64, words)
+		for remaining := n; remaining > 0; {
+			if stop() {
+				return
 			}
-		})
+			sample := wi.lat != nil && wi.tick&latSampleMask == 0
+			wi.tick++
+			var t0 time.Time
+			if sample {
+				t0 = time.Now()
+			}
+			batch(r, hit)
+			if sample {
+				wi.lat.Observe(time.Since(t0).Seconds())
+			}
+			c := unit
+			if remaining < unit {
+				c = remaining
+				maskLanes(hit, c)
+			}
+			remaining -= c
+			h := 0
+			for _, m := range hit {
+				h += bits.OnesCount64(m)
+			}
+			*hits += h
+			*done += c
+			fb++
+			ft += int64(c)
+			fs += int64(unit)
+			if fb == flushEvery {
+				flush()
+			}
+		}
+	}
+}
+
+// maskLanes clears every lane of the block past the first n, so a partial
+// final batch counts exactly its remaining trials.
+func maskLanes(hit []uint64, n int) {
+	for j := range hit {
+		switch lo := n - 64*j; {
+		case lo >= 64:
+			// Word fully counted.
+		case lo <= 0:
+			hit[j] = 0
+		default:
+			hit[j] &= 1<<uint(lo) - 1
+		}
+	}
 }
 
 // monteCarloCtx is the shared harness core. unit is the trial granularity
-// of one body iteration (1 for scalar, 64 for lanes) and bounds the worker
-// count so no worker gets an empty share. body runs n trials on stream r,
-// polling stop between batches and accumulating through hits/done so
-// progress survives a panic; wi carries the worker's telemetry handles.
+// of one body iteration (1 for scalar, 64·words for the lane-block
+// engines) and bounds the worker count so no worker gets an empty share.
+// body runs n trials on stream r, polling stop between batches and
+// accumulating through hits/done so progress survives a panic; wi carries
+// the worker's telemetry handles.
 func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 	body func(r *rng.RNG, n int, stop func() bool, hits, done *int, wi *workerInstr)) (Result, error) {
 	if trials <= 0 {
@@ -202,8 +255,10 @@ func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 	}
 
 	reg := telemetry.Active(ctx)
+	// All lane-block engines share the lanes metric names, so dashboards
+	// and CI greps stay stable across block widths.
 	latName := "sim.scalar.chunk_seconds"
-	if unit == 64 {
+	if unit > 1 {
 		latName = "sim.lanes.batch_seconds"
 	}
 
@@ -245,7 +300,7 @@ func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 				wi.wtrials = reg.Counter(fmt.Sprintf("sim.worker.%02d.trials", w))
 				wi.batches = reg.Counter("sim.batches")
 				wi.lat = reg.Histogram(latName, telemetry.LatencyBuckets)
-				if unit == 64 {
+				if unit > 1 {
 					wi.lanesTr = reg.Counter("lanes.trials")
 					wi.slots = reg.Counter("lanes.slots")
 				}

@@ -153,10 +153,34 @@ func EncodeBitLanes(st LaneState, wires []int, vals uint64) { lanes.Encode(st, w
 func DecodeBitLanes(st LaneState, wires []int) uint64 { return lanes.Decode(st, wires) }
 
 // MonteCarloLanes runs trials across 64-lane batches of batch, which
-// returns a failure mask per batch. Worker and seeding semantics match
-// MonteCarlo.
+// returns a hit mask per batch (bit j set: lane j's trial observed the
+// counted event). Worker and seeding semantics match MonteCarlo.
 func MonteCarloLanes(trials, workers int, seed uint64, batch func(r *RNG) uint64) Estimate {
 	return sim.MonteCarloLanes(trials, workers, seed, batch)
+}
+
+// WideLaneState is a K-word lane block: 64·K trial lanes, wire-major.
+type WideLaneState = lanes.WideState
+
+// WideLaneProgram is a circuit fused and lowered for a K-word lane block:
+// adjacent CNOT/CNOT/Toffoli triples collapse into single word kernels
+// and fault points sharing a probability share one geometric sampler.
+type WideLaneProgram = lanes.WideProgram
+
+// NewWideLaneState allocates a words-wide lane block for width wires.
+func NewWideLaneState(width, words int) WideLaneState { return lanes.NewWideState(width, words) }
+
+// CompileWideLanes lowers a circuit to a WideLaneProgram under a noise
+// model for a words-wide lane block.
+func CompileWideLanes(c *Circuit, m NoiseModel, words int) *WideLaneProgram {
+	return lanes.CompileWide(c, m, words)
+}
+
+// MonteCarloWide runs trials across 64·words-lane blocks of batch, which
+// writes a hit mask into its block argument. Worker and seeding semantics
+// match MonteCarlo.
+func MonteCarloWide(trials, workers int, seed uint64, words int, batch func(r *RNG, hit []uint64)) Estimate {
+	return sim.MonteCarloWide(trials, workers, seed, words, batch)
 }
 
 // ---------------------------------------------------------------------------
