@@ -75,6 +75,16 @@
 // printed with a [PARTIAL] title tag. Rerunning with the same spec and
 // -resume finishes the sweep; the final table is bit-identical to an
 // uninterrupted run for a fixed (seed, workers, engine).
+//
+// Exit codes:
+//
+//	0  the run completed
+//	3  the run was interrupted (SIGINT/SIGTERM or -timeout) and printed
+//	   a [PARTIAL] table; the checkpoint, if any, is resumable
+//	1  anything else (usage errors, I/O failures, trial panics)
+//
+// Scripts can therefore distinguish "partial but resumable" from real
+// failures without parsing stderr.
 package main
 
 import (
@@ -93,11 +103,23 @@ import (
 	"revft/internal/telemetry"
 )
 
+// exitPartial is the documented exit code for a run interrupted by a
+// signal or -timeout after printing a [PARTIAL] table.
+const exitPartial = 3
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "revft-mc:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "revft-mc:", err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// A cancelled or timed-out sweep is not a failure of the tool: the
+		// partial table was printed and the checkpoint flushed. Give
+		// scripts a distinct code so they can resume instead of aborting.
+		os.Exit(exitPartial)
+	}
+	os.Exit(1)
 }
 
 func run(args []string) error {

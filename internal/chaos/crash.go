@@ -130,6 +130,26 @@ func (c *CrashFS) Create(name string) (File, error) {
 	return nil, ErrCrashed
 }
 
+func (c *CrashFS) OpenAppend(name string) (File, error) {
+	switch c.step(OpAppend, name) {
+	case proceed:
+		f, err := c.fs.OpenAppend(name)
+		if err != nil {
+			return nil, err
+		}
+		return &crashFile{fs: c, f: f}, nil
+	case crashNow:
+		if c.mode == CrashAfter {
+			// O_CREATE's side effect lands: an empty journal file can
+			// exist even though the caller never saw the open succeed.
+			if f, err := c.fs.OpenAppend(name); err == nil {
+				_ = f.Close()
+			}
+		}
+	}
+	return nil, ErrCrashed
+}
+
 func (c *CrashFS) CreateTemp(dir, pattern string) (File, error) {
 	switch c.step(OpCreateTemp, dir) {
 	case proceed:

@@ -51,12 +51,14 @@ const (
 	OpGlob
 	// OpSyncDir is FS.SyncDir.
 	OpSyncDir
+	// OpAppend is FS.OpenAppend.
+	OpAppend
 	numOps
 )
 
 var opNames = [numOps]string{
 	"create", "createtemp", "write", "sync", "close",
-	"rename", "remove", "readfile", "glob", "syncdir",
+	"rename", "remove", "readfile", "glob", "syncdir", "append",
 }
 
 // String returns the lower-case operation name ("write", "sync", ...).
@@ -81,7 +83,7 @@ func ParseOp(name string) (Op, bool) {
 // set live fault injection (revft-mc -chaos) targets. Read-side
 // operations are left clean so a resume can always load the checkpoint
 // that survived.
-var WriteOps = []Op{OpCreate, OpCreateTemp, OpWrite, OpSync, OpClose, OpRename, OpSyncDir}
+var WriteOps = []Op{OpCreate, OpCreateTemp, OpWrite, OpSync, OpClose, OpRename, OpSyncDir, OpAppend}
 
 // File is the writable file handle surface the runtime needs: enough for
 // an atomic write-fsync-rename sequence and for appending trace lines.
@@ -103,6 +105,10 @@ type File interface {
 type FS interface {
 	// Create creates or truncates the named file for writing.
 	Create(name string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if
+	// needed — the journal write mode: every Write lands after whatever
+	// the file already holds, so existing records are never clobbered.
+	OpenAppend(name string) (File, error)
 	// CreateTemp creates a new temporary file in dir as os.CreateTemp.
 	CreateTemp(dir, pattern string) (File, error)
 	// Rename atomically replaces newpath with oldpath.
@@ -125,6 +131,10 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+}
 
 func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
 

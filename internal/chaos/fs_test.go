@@ -202,3 +202,65 @@ func TestCountFSCountsEverything(t *testing.T) {
 		t.Errorf("N() = %d, want %d", c.N(), total)
 	}
 }
+
+// TestOSOpenAppend: the journal write mode creates on first open and
+// appends — never truncates — on later ones, through every wrapper.
+func TestOSOpenAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	for i, line := range []string{"one\n", "two\n"} {
+		f, err := OS.OpenAppend(path)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if _, err := f.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := OS.ReadFile(path)
+	if err != nil || string(b) != "one\ntwo\n" {
+		t.Fatalf("ReadFile = %q, %v (append truncated?)", b, err)
+	}
+
+	// InjectFS faults the open without touching the file.
+	inj := &InjectFS{Hook: func(op Op, p string) error {
+		if op == OpAppend {
+			return &FaultError{Op: op, Path: p}
+		}
+		return nil
+	}}
+	if _, err := inj.OpenAppend(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected append fault = %v, want ErrInjected", err)
+	}
+	if b, _ := OS.ReadFile(path); string(b) != "one\ntwo\n" {
+		t.Errorf("failed open perturbed the file: %q", b)
+	}
+
+	// CountFS tallies the op.
+	cnt := &CountFS{}
+	f, err := cnt.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if cnt.PerOp(OpAppend) != 1 {
+		t.Errorf("CountFS counted %d appends, want 1", cnt.PerOp(OpAppend))
+	}
+
+	// CrashFS CrashAfter on the open leaves the O_CREATE side effect (an
+	// existing file) while the caller sees only the crash.
+	fresh := filepath.Join(dir, "fresh.jsonl")
+	cfs := NewCrashFS(OS, 0, CrashAfter)
+	if _, err := cfs.OpenAppend(fresh); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-after open = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("crash-after open should have created the file: %v", err)
+	}
+}

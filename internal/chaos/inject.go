@@ -51,6 +51,17 @@ func (f *InjectFS) Create(name string) (File, error) {
 	return &injectFile{fs: f, f: file}, nil
 }
 
+func (f *InjectFS) OpenAppend(name string) (File, error) {
+	if err := f.fault(OpAppend, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base().OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, f: file}, nil
+}
+
 func (f *InjectFS) CreateTemp(dir, pattern string) (File, error) {
 	if err := f.fault(OpCreateTemp, dir); err != nil {
 		return nil, err
@@ -207,6 +218,15 @@ func (c *CountFS) count(op Op) {
 func (c *CountFS) Create(name string) (File, error) {
 	c.count(OpCreate)
 	f, err := c.base().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countFile{fs: c, f: f}, nil
+}
+
+func (c *CountFS) OpenAppend(name string) (File, error) {
+	c.count(OpAppend)
+	f, err := c.base().OpenAppend(name)
 	if err != nil {
 		return nil, err
 	}

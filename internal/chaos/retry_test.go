@@ -171,3 +171,92 @@ func TestRetryOnRetryObserves(t *testing.T) {
 		t.Errorf("OnRetry attempts = %v, want [1 2 3]", attempts)
 	}
 }
+
+// TestRetryJitterWithinConfiguredBounds: every backoff the policy chooses
+// respects both the exponential envelope and the MaxDelay cap — jitter
+// may shrink a delay, never grow it past the configured bound.
+func TestRetryJitterWithinConfiguredBounds(t *testing.T) {
+	const (
+		base = 8 * time.Millisecond
+		cap  = 20 * time.Millisecond
+	)
+	for seed := uint64(0); seed < 20; seed++ {
+		var slept []time.Duration
+		_ = Policy{
+			MaxAttempts: 10,
+			BaseDelay:   base,
+			MaxDelay:    cap,
+			Budget:      time.Hour, // never the binding constraint here
+			Seed:        seed,
+			Sleep:       noSleep(&slept),
+		}.Do(context.Background(), func() error { return &FaultError{Op: OpWrite, Path: "x"} })
+		if len(slept) != 9 {
+			t.Fatalf("seed %d: slept %d times for 10 attempts, want 9", seed, len(slept))
+		}
+		for i, d := range slept {
+			hi := base << uint(i) // pre-jitter envelope: base doubling per retry
+			if hi > cap {
+				hi = cap
+			}
+			if d <= 0 || d > hi {
+				t.Errorf("seed %d: backoff %d = %v, want in (0, %v]", seed, i, d, hi)
+			}
+		}
+	}
+}
+
+// TestRetryBudgetExhaustionTypedError: when the backoff budget runs out
+// before the attempt budget, the caller still gets the typed *RetryError
+// (with the true attempt count) wrapping the last operation error.
+func TestRetryBudgetExhaustionTypedError(t *testing.T) {
+	var slept []time.Duration
+	inner := &FaultError{Op: OpSync, Path: "journal"}
+	err := Policy{
+		MaxAttempts: 1000,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Budget:      35 * time.Millisecond,
+		Seed:        7,
+		Sleep:       noSleep(&slept),
+	}.Do(context.Background(), func() error { return inner })
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("budget exhaustion returned %T (%v), want *RetryError", err, err)
+	}
+	if re.Attempts >= 1000 || re.Attempts < 1 {
+		t.Errorf("Attempts = %d; the 35ms budget, not MaxAttempts, should have stopped it", re.Attempts)
+	}
+	if re.Attempts != len(slept)+1 {
+		t.Errorf("Attempts = %d but slept %d times; every attempt past the first needs a backoff", re.Attempts, len(slept))
+	}
+	if !errors.Is(err, ErrInjected) || re.Err != error(inner) {
+		t.Errorf("RetryError.Err = %v, want the last operation error %v", re.Err, inner)
+	}
+}
+
+// TestRetryCancelAbortsMidBackoff: with the real timer-based sleep, a
+// context cancelled during a long backoff returns promptly — it does not
+// sleep out the remaining delay.
+func TestRetryCancelAbortsMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   30 * time.Second, // way past any test deadline if honoured
+		MaxDelay:    30 * time.Second,
+		Budget:      time.Hour,
+		Seed:        1,
+	}.Do(ctx, func() error { return &FaultError{Op: OpWrite, Path: "x"} })
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to unblock the backoff sleep", elapsed)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want *RetryError wrapping the operation fault", err)
+	}
+}

@@ -1,0 +1,47 @@
+package exp
+
+// Shardable sweep drivers for the job server: the per-point estimators of
+// the checkpointable sweep experiments, exposed over *global* point
+// indices so a scheduler can partition one sweep's points across workers.
+// Every estimator's seed derivation depends only on (params seed, point
+// index, chunk), never on which shard runs the point, so any partition —
+// including none — produces bit-identical estimates.
+
+import (
+	"fmt"
+
+	"revft/internal/sweep"
+)
+
+// ShardableSweep returns the named sweep experiment's global point
+// function and total point count. gs is the swept gate-error grid;
+// maxLevel and bits parameterize the levels and adder experiments and are
+// ignored by the others. The point function is exactly the one the Ctx
+// table drivers run, so a job server partitioning its points reproduces
+// the CLI's numbers bit for bit.
+func ShardableSweep(experiment string, gs []float64, maxLevel, bits int, p MCParams) (sweep.PointFunc, int, error) {
+	if len(gs) == 0 {
+		return nil, 0, fmt.Errorf("exp: shardable sweep %q: empty grid", experiment)
+	}
+	switch experiment {
+	case "recovery":
+		fn, _ := recoveryPointFunc(gs, p)
+		return fn, len(gs), nil
+	case "levels":
+		if maxLevel < 0 {
+			return nil, 0, fmt.Errorf("exp: shardable sweep levels: maxlevel %d < 0", maxLevel)
+		}
+		fn, _ := levelsPointFunc(gs, maxLevel, p)
+		return fn, (maxLevel + 1) * len(gs), nil
+	case "local":
+		fn, _ := localPointFunc(gs, p)
+		return fn, len(gs), nil
+	case "adder":
+		if bits < 1 || 2*bits+2 > 64 {
+			return nil, 0, fmt.Errorf("exp: shardable sweep adder: bits %d out of range 1..31", bits)
+		}
+		fn, _ := adderPointFunc(bits, gs, p)
+		return fn, len(gs), nil
+	}
+	return nil, 0, fmt.Errorf("exp: %q is not a shardable sweep experiment (want recovery, levels, local, or adder)", experiment)
+}

@@ -192,22 +192,33 @@ func noteAdaptive(t *Table, out *sweep.Outcome, o SweepOptions) {
 	t.AddNote("adaptive early stopping: reltol %g, trials per point: %s", o.RelTol, strings.Join(ts, ", "))
 }
 
+// recoveryPointFunc builds the recovery sweep's per-point estimator over
+// global point indices, plus its gate-count record. The seed derivation
+// depends only on (p.Seed, pt, chunk), so any partition of the points —
+// one runner, or shards of a job server — produces bit-identical
+// estimates.
+func recoveryPointFunc(gs []float64, p MCParams) (sweep.PointFunc, map[string]int) {
+	gad := core.NewGadget(gate.MAJ, 1)
+	counts := map[string]int{
+		"physical_ops": gad.Circuit.Len(),
+		"G_analytic":   threshold.GNonLocalInit,
+	}
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		seed := sweep.ChunkSeed(p.Seed+uint64(pt), chunk)
+		res, rerr := gadgetRateCtx(ctx, gad, noise.Uniform(gs[pt]), p, trials, seed)
+		return []stats.Bernoulli{res.Bernoulli}, rerr
+	}, counts
+}
+
 // RecoveryCtx is Recovery on the resilient sweep runtime: cancellable via
 // ctx, checkpoint/resume via SweepOptions, optional adaptive early
 // stopping. On interruption it returns the partial table (marked) together
 // with the cause.
 func RecoveryCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
-	gad := core.NewGadget(gate.MAJ, 1)
-	o.recordGateCounts("recovery", map[string]int{
-		"physical_ops": gad.Circuit.Len(),
-		"G_analytic":   threshold.GNonLocalInit,
-	})
+	fn, counts := recoveryPointFunc(gs, p)
+	o.recordGateCounts("recovery", counts)
 	spec := sweepSpec("recovery", gs, len(gs), p, o, "")
-	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
-		seed := sweep.ChunkSeed(p.Seed+uint64(pt), chunk)
-		res, rerr := gadgetRateCtx(ctx, gad, noise.Uniform(gs[pt]), p, trials, seed)
-		return []stats.Bernoulli{res.Bernoulli}, rerr
-	}).Run(ctx)
+	out, err := o.runner(spec, fn).Run(ctx)
 	if out == nil {
 		return nil, err
 	}
@@ -233,23 +244,30 @@ func RecoveryCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) 
 	return t, err
 }
 
-// LevelsCtx is Levels on the resilient sweep runtime; sweep points are the
-// (level, g) cross product in row order.
-func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o SweepOptions) (*Table, error) {
+// levelsPointFunc builds the concatenation sweep's per-point estimator;
+// sweep points are the (level, g) cross product in row order.
+func levelsPointFunc(gs []float64, maxLevel int, p MCParams) (sweep.PointFunc, map[string]int) {
 	gads := make([]*core.Gadget, maxLevel+1)
-	levelCounts := map[string]int{"G_analytic": threshold.GNonLocalInit}
+	counts := map[string]int{"G_analytic": threshold.GNonLocalInit}
 	for l := range gads {
 		gads[l] = core.NewGadget(gate.MAJ, l)
-		levelCounts[fmt.Sprintf("L%d.physical_ops", l)] = gads[l].Circuit.Len()
+		counts[fmt.Sprintf("L%d.physical_ops", l)] = gads[l].Circuit.Len()
 	}
-	o.recordGateCounts("levels", levelCounts)
-	spec := sweepSpec("levels", gs, (maxLevel+1)*len(gs), p, o, fmt.Sprintf("maxlevel=%d", maxLevel))
-	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		l, i := pt/len(gs), pt%len(gs)
 		seed := sweep.ChunkSeed(p.Seed+uint64(1000*l+i), chunk)
 		res, rerr := gadgetRateCtx(ctx, gads[l], noise.Uniform(gs[i]), p, trials, seed)
 		return []stats.Bernoulli{res.Bernoulli}, rerr
-	}).Run(ctx)
+	}, counts
+}
+
+// LevelsCtx is Levels on the resilient sweep runtime; sweep points are the
+// (level, g) cross product in row order.
+func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o SweepOptions) (*Table, error) {
+	fn, counts := levelsPointFunc(gs, maxLevel, p)
+	o.recordGateCounts("levels", counts)
+	spec := sweepSpec("levels", gs, (maxLevel+1)*len(gs), p, o, fmt.Sprintf("maxlevel=%d", maxLevel))
+	out, err := o.runner(spec, fn).Run(ctx)
 	if out == nil {
 		return nil, err
 	}
@@ -275,19 +293,18 @@ func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o Sw
 	return t, err
 }
 
-// LocalCtx is Local on the resilient sweep runtime; each point estimates
-// the 2D and 1D cycles back to back.
-func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+// localPointFunc builds the near-neighbor sweep's per-point estimator;
+// each point estimates the 2D and 1D cycles back to back.
+func localPointFunc(gs []float64, p MCParams) (sweep.PointFunc, map[string]int) {
 	c2 := lattice.NewCycle2D(gate.MAJ)
 	c1 := lattice.NewCycle1D(gate.MAJ)
-	o.recordGateCounts("local", map[string]int{
+	counts := map[string]int{
 		"cycle2d.physical_ops": c2.Circuit.Len(),
 		"cycle2d.G_analytic":   threshold.G2DInit,
 		"cycle1d.physical_ops": c1.Circuit.Len(),
 		"cycle1d.G_analytic":   threshold.G1DInit,
-	})
-	spec := sweepSpec("local", gs, len(gs), p, o, "")
-	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+	}
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		m := noise.Uniform(gs[pt])
 		e2, rerr := cycleRateCtx(ctx, "cycle2d", c2, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk))
 		if rerr != nil {
@@ -295,7 +312,16 @@ func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*T
 		}
 		e1, rerr := cycleRateCtx(ctx, "cycle1d", c1, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk))
 		return []stats.Bernoulli{e2.Bernoulli, e1.Bernoulli}, rerr
-	}).Run(ctx)
+	}, counts
+}
+
+// LocalCtx is Local on the resilient sweep runtime; each point estimates
+// the 2D and 1D cycles back to back.
+func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+	fn, counts := localPointFunc(gs, p)
+	o.recordGateCounts("local", counts)
+	spec := sweepSpec("local", gs, len(gs), p, o, "")
+	out, err := o.runner(spec, fn).Run(ctx)
 	if out == nil {
 		return nil, err
 	}
@@ -320,9 +346,10 @@ func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*T
 	return t, err
 }
 
-// AdderModuleCtx is AdderModule on the resilient sweep runtime; each point
-// estimates the bare and the level-1 fault-tolerant adder back to back.
-func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+// adderPointFunc builds the adder-module sweep's per-point estimator;
+// each point estimates the bare and the level-1 fault-tolerant adder back
+// to back on fixed representative operands.
+func adderPointFunc(n int, gs []float64, p MCParams) (sweep.PointFunc, map[string]int) {
 	logical, l := adder.New(n)
 	m := core.CompileModule(logical, 1)
 	// Fixed representative operands.
@@ -332,13 +359,12 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 		in |= (a >> uint(i) & 1) << uint(l.A[i])
 		in |= (b >> uint(i) & 1) << uint(l.B[i])
 	}
-	o.recordGateCounts("adder", map[string]int{
+	counts := map[string]int{
 		"logical_ops":  logical.GateCount(),
 		"physical_ops": m.Physical.GateCount(),
 		"wires":        m.Physical.Width(),
-	})
-	spec := sweepSpec("adder", gs, len(gs), p, o, fmt.Sprintf("bits=%d", n))
-	out, err := o.runner(spec, func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+	}
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		nm := noise.Uniform(gs[pt])
 		sb := sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk)
 		sf := sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk)
@@ -364,7 +390,16 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 			ft, rerr = m.ErrorRateCtx(ctx, in, nm, trials, p.Workers, sf)
 		}
 		return []stats.Bernoulli{bare.Bernoulli, ft.Bernoulli}, rerr
-	}).Run(ctx)
+	}, counts
+}
+
+// AdderModuleCtx is AdderModule on the resilient sweep runtime; each point
+// estimates the bare and the level-1 fault-tolerant adder back to back.
+func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o SweepOptions) (*Table, error) {
+	fn, counts := adderPointFunc(n, gs, p)
+	o.recordGateCounts("adder", counts)
+	spec := sweepSpec("adder", gs, len(gs), p, o, fmt.Sprintf("bits=%d", n))
+	out, err := o.runner(spec, fn).Run(ctx)
 	if out == nil {
 		return nil, err
 	}
@@ -374,7 +409,7 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 		Title:  fmt.Sprintf("%d-bit reversible adder module: bare vs level-1 FT", n),
 		Header: []string{"g", "bare measured", "1−(1−g)^T", "FT level-1 measured", "FT wins"},
 	}
-	T := float64(logical.GateCount())
+	T := float64(counts["logical_ops"])
 	for _, pr := range out.Done {
 		if pr.Partial {
 			continue
@@ -384,7 +419,7 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 		t.AddRow(g, bare.Rate(), threshold.UnprotectedModuleError(g, T), ft.Rate(), ft.Rate() < bare.Rate())
 	}
 	t.AddNote("T = %d logical gates; FT module has %d physical ops on %d wires",
-		logical.GateCount(), m.Physical.GateCount(), m.Physical.Width())
+		counts["logical_ops"], counts["physical_ops"], counts["wires"])
 	noteAdaptive(t, out, o)
 	markSweepTable(t, out, spec, err)
 	return t, err

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"revft/internal/chaos"
+)
+
+// writeFileAtomic writes data to path with the same durability discipline
+// as sweep checkpoints: temp file in the destination directory, fsync,
+// rename over path, fsync the directory, then reclaim any stale temp
+// files a crashed earlier writer orphaned. A crash at any instant leaves
+// either the previous file or the new one under path, never a torn mix.
+func writeFileAtomic(fsys chaos.FS, path string, data []byte) error {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("server: temp file for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = fsys.Rename(tmp, path)
+	}
+	if werr != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("server: write %s: %w", path, werr)
+	}
+	_ = fsys.SyncDir(dir)
+	if stale, gerr := fsys.Glob(filepath.Join(dir, filepath.Base(path)+".tmp*")); gerr == nil {
+		for _, s := range stale {
+			_ = fsys.Remove(s)
+		}
+	}
+	return nil
+}

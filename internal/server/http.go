@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /jobs             submit a JobSpec, get 202 + JobStatus
+//	GET    /jobs             list all jobs
+//	GET    /jobs/{id}        poll one job's status
+//	GET    /jobs/{id}/result fetch a completed job's result.json
+//	GET    /jobs/{id}/trace  fetch a job's JSONL trace
+//	DELETE /jobs/{id}        cancel a job
+//	GET    /healthz          liveness + drain state
+//	GET    /metrics          telemetry registry in text exposition format
+//
+// Typed admission rejections surface as their RejectError status (429 for
+// overload and quota, 400 for bad specs, 503 while draining) with a JSON
+// body carrying the machine-readable code.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps API errors onto status codes: RejectError carries its
+// own, lookup misses are 404, premature result fetches 409.
+func writeError(w http.ResponseWriter, err error) {
+	var rej *RejectError
+	switch {
+	case errors.As(err, &rej):
+		writeJSON(w, rej.Status, rej)
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not_found", "reason": err.Error()})
+	case errors.Is(err, ErrNotDone):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "not_done", "reason": err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal", "reason": err.Error()})
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, reject(CodeInvalidSpec, http.StatusBadRequest, "decode spec: %v", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	path, err := s.TracePath(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if path == "" {
+		writeJSON(w, http.StatusGone, map[string]string{"error": "trace_degraded", "reason": "the job's trace degraded to counters"})
+		return
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		writeError(w, fmt.Errorf("read trace: %w", rerr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	fatal := s.fatalErr
+	s.mu.Unlock()
+	switch {
+	case fatal != nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "failed", "reason": fatal.Error()})
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Metrics != nil {
+		_ = s.cfg.Metrics.WriteMetrics(w)
+	}
+}

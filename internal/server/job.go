@@ -1,0 +1,234 @@
+// Package server is the sweep-as-a-service runtime: a crash-safe job
+// server that accepts Monte Carlo sweep specs over HTTP, fans their
+// points out to a bounded worker pool in seed-stable shards, and streams
+// results through the existing checkpoint, JSONL-trace, and telemetry
+// machinery.
+//
+// Robustness is the design center, mirroring the paper's own claim that a
+// computation must survive faults in its machinery:
+//
+//   - every job-state transition is an fsynced record in an append-only
+//     journal written through the chaos.FS seam, so a SIGKILL at any
+//     instant leaves a replayable prefix: on restart the server replays
+//     the journal and resumes every in-flight job from its shard sweep
+//     checkpoints, bit-identically to an uninterrupted run;
+//   - admission is bounded and typed: a full queue or an exhausted
+//     per-tenant quota produces a *RejectError (HTTP 429), never a stall;
+//   - shard execution isolates trial panics via sim.TrialPanicError
+//     provenance and retries them under a budgeted chaos.Policy;
+//   - jobs carry deadlines, and SIGTERM drains gracefully — stop
+//     admitting, checkpoint running shards, flush traces, exit clean.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"revft/internal/stats"
+	"revft/internal/sweep"
+)
+
+// JobSpec is what a client submits: one sweep experiment, its grid and
+// trial budget, and how to run it. The zero values of Shards, Workers,
+// and Engine normalize to 1, 1, and "scalar".
+type JobSpec struct {
+	// Tenant attributes the job for quota accounting; empty normalizes
+	// to "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Experiment names a registered sweep driver (the standard binary
+	// registers recovery, levels, local, and adder).
+	Experiment string `json:"experiment"`
+	// GMin/GMax/Points define the log-spaced gate-error grid.
+	GMin   float64 `json:"gmin"`
+	GMax   float64 `json:"gmax"`
+	Points int     `json:"points"`
+	// Trials is the Monte Carlo budget per estimate per point.
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+	// Engine selects the execution engine (scalar|lanes|lanes256|lanes512
+	// for the standard drivers).
+	Engine string `json:"engine,omitempty"`
+	// MaxLevel and Bits parameterize the levels and adder experiments.
+	MaxLevel int `json:"maxlevel,omitempty"`
+	Bits     int `json:"bits,omitempty"`
+	// Shards is how many seed-stable point shards the job fans out as;
+	// capped at the experiment's point count.
+	Shards int `json:"shards,omitempty"`
+	// Workers is the engine worker count per shard.
+	Workers int `json:"workers,omitempty"`
+	// RelTol/ZeroScale enable adaptive early stopping per point, exactly
+	// as revft-mc -reltol/-zeroscale.
+	RelTol    float64 `json:"reltol,omitempty"`
+	ZeroScale float64 `json:"zeroscale,omitempty"`
+	// TimeoutSeconds, when positive, bounds the job's running time; a
+	// job over its deadline fails with a journaled "deadline exceeded".
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// normalize fills the defaulted fields in place.
+func (s *JobSpec) normalize() {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Engine == "" {
+		s.Engine = "scalar"
+	}
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+}
+
+// Validate checks the driver-independent fields; experiment-specific
+// validation belongs to the Driver.
+func (s JobSpec) Validate() error {
+	switch {
+	case s.Experiment == "":
+		return fmt.Errorf("experiment is required")
+	case s.Points < 1:
+		return fmt.Errorf("points %d: need at least 1", s.Points)
+	case s.Trials < 1:
+		return fmt.Errorf("trials %d: need at least 1", s.Trials)
+	case s.GMin <= 0 || s.GMax <= 0:
+		return fmt.Errorf("gmin %v, gmax %v: gate error rates must be positive", s.GMin, s.GMax)
+	case s.GMax > 1:
+		return fmt.Errorf("gmax %v: gate error rate cannot exceed 1", s.GMax)
+	case s.GMin > s.GMax:
+		return fmt.Errorf("gmin %v exceeds gmax %v", s.GMin, s.GMax)
+	case s.Points == 1 && s.GMin != s.GMax:
+		return fmt.Errorf("points 1 needs gmin == gmax (got %v, %v)", s.GMin, s.GMax)
+	case s.RelTol < 0:
+		return fmt.Errorf("reltol %v: need 0 (off) or positive", s.RelTol)
+	case s.ZeroScale < 0:
+		return fmt.Errorf("zeroscale %v: need 0 (off) or positive", s.ZeroScale)
+	case s.ZeroScale > 0 && s.RelTol == 0:
+		return fmt.Errorf("zeroscale requires reltol")
+	case s.TimeoutSeconds < 0:
+		return fmt.Errorf("timeout_seconds %v: need 0 (none) or positive", s.TimeoutSeconds)
+	}
+	return nil
+}
+
+// Grid returns the job's log-spaced gate-error grid.
+func (s JobSpec) Grid() []float64 { return stats.LogSpace(s.GMin, s.GMax, s.Points) }
+
+// Digest returns the hex SHA-256 of the spec's canonical JSON encoding
+// (after normalization), the identity job IDs and shard checkpoint specs
+// derive from.
+func (s JobSpec) Digest() string {
+	s.normalize()
+	b, err := json.Marshal(s)
+	if err != nil {
+		// JobSpec holds only scalars; Marshal cannot fail on it.
+		panic(fmt.Sprintf("server: spec digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// State is a job's lifecycle position. Transitions are journaled:
+// queued → running → done | failed | cancelled (cancellation is also
+// legal from queued).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state admits no further transitions.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the client-visible view of a job.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant"`
+	Experiment  string    `json:"experiment"`
+	State       State     `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	Points      int       `json:"points"`
+	Trials      int       `json:"trials"`
+	Shards      int       `json:"shards"`
+	ShardsDone  int       `json:"shards_done"`
+	Resumed     bool      `json:"resumed,omitempty"`
+	SpecDigest  string    `json:"spec_digest"`
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// ResultPoint is one completed sweep point in a job result, in global
+// point-index order.
+type ResultPoint struct {
+	Index   int               `json:"index"`
+	Ests    []stats.Bernoulli `json:"ests"`
+	Stopped bool              `json:"stopped,omitempty"`
+}
+
+// Result is the merged outcome of a completed job, written atomically to
+// result.json in the job directory. It contains nothing wall-clock
+// dependent, so for a fixed spec the serialized result is bit-identical
+// whether the job ran uninterrupted or limped through kills and restarts.
+type Result struct {
+	ID         string        `json:"id"`
+	Experiment string        `json:"experiment"`
+	SpecDigest string        `json:"spec_digest"`
+	Grid       []float64     `json:"grid"`
+	Points     []ResultPoint `json:"points"`
+}
+
+// Rejection codes for RejectError.Code.
+const (
+	CodeInvalidSpec       = "invalid_spec"
+	CodeUnknownExperiment = "unknown_experiment"
+	CodeDraining          = "draining"
+	CodeQueueFull         = "queue_full"
+	CodeTenantJobQuota    = "tenant_job_quota"
+	CodeTenantTrialQuota  = "tenant_trial_quota"
+	CodeServerFailed      = "server_failed"
+)
+
+// RejectError is the typed admission rejection: a submission the server
+// deliberately refused, with a machine-readable code and the HTTP status
+// it maps to. Overload and quota exhaustion are 429s the client should
+// back off from; they are never silent queue stalls.
+type RejectError struct {
+	Code   string `json:"error"`
+	Reason string `json:"reason"`
+	Status int    `json:"-"`
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("server: submission rejected (%s): %s", e.Code, e.Reason)
+}
+
+func reject(code string, status int, format string, args ...any) *RejectError {
+	return &RejectError{Code: code, Status: status, Reason: fmt.Sprintf(format, args...)}
+}
+
+// shardPoints returns how many global points shard k of nShards owns when
+// the points are dealt round-robin: shard k runs global points k, k+S,
+// k+2S, ... — a partition that keeps every point's seed derivation (which
+// depends only on the global index) independent of the shard count.
+func shardPoints(points, nShards, k int) int {
+	if k >= points {
+		return 0
+	}
+	return (points - k + nShards - 1) / nShards
+}
+
+// shardPointFunc adapts a global PointFunc to shard-local indices.
+func shardPointFunc(fn sweep.PointFunc, k, nShards int) sweep.PointFunc {
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		return fn(ctx, k+pt*nShards, chunk, trials)
+	}
+}

@@ -1,0 +1,895 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"revft/internal/chaos"
+	"revft/internal/sim"
+	"revft/internal/sweep"
+	"revft/internal/telemetry"
+)
+
+// Driver resolves a validated, normalized JobSpec into the experiment's
+// global sweep point function and total point count. grid is the job's
+// gate-error grid (spec.Grid()), precomputed so drivers need not rederive
+// it. Drivers must be pure: the same spec must always yield the same
+// point function, because a restarted server re-resolves every in-flight
+// job from its journaled spec and the resumed points must be
+// bit-identical. exp.ShardableSweep provides the standard experiments.
+type Driver func(spec JobSpec, grid []float64) (sweep.PointFunc, int, error)
+
+// Config configures a Server. The zero values of the numeric fields pick
+// the documented defaults.
+type Config struct {
+	// DataDir is the server's durable root: journal.jsonl plus one
+	// jobs/<id>/ directory per job (shard checkpoints, trace, result).
+	DataDir string
+	// Drivers maps experiment names to their sweep drivers.
+	Drivers map[string]Driver
+	// PoolWorkers bounds the shard worker pool; <= 0 selects 4.
+	PoolWorkers int
+	// MaxActiveJobs bounds admitted-but-unfinished jobs across all
+	// tenants — the admission queue. Submissions beyond it are rejected
+	// with CodeQueueFull, never silently queued without bound. <= 0
+	// selects 64.
+	MaxActiveJobs int
+	// MaxJobsPerTenant bounds one tenant's concurrent active jobs;
+	// 0 means unlimited.
+	MaxJobsPerTenant int
+	// MaxTrialsPerTenant bounds one tenant's in-flight trial budget
+	// (sum of points×trials over its active jobs); 0 means unlimited.
+	MaxTrialsPerTenant int64
+	// FS is the filesystem for shard checkpoints and result files; nil
+	// selects the direct OS filesystem.
+	FS chaos.FS
+	// JournalFS, when non-nil, routes only the job journal — the seam the
+	// crash-point explorer targets to prove every journal crash is
+	// recoverable. Nil selects FS.
+	JournalFS chaos.FS
+	// Retry governs checkpoint, trace, and result write retries; the zero
+	// value is the chaos default policy.
+	Retry chaos.Policy
+	// ShardRetry budgets re-execution of a shard whose trial panicked
+	// (sim.TrialPanicError); other shard errors are never retried. The
+	// zero value is the chaos default policy (4 attempts).
+	ShardRetry chaos.Policy
+	// Metrics receives server counters and gauges; nil disables them.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives server-wide job lifecycle events (in
+	// addition to each job's own trace.jsonl).
+	Trace *telemetry.Trace
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Sentinel errors for job lookup and result retrieval.
+var (
+	ErrNotFound = errors.New("server: no such job")
+	ErrNotDone  = errors.New("server: job has not completed")
+)
+
+// job is the server-internal job state; JobStatus is its client view.
+type job struct {
+	id          string
+	spec        JobSpec
+	digest      string
+	state       State
+	errText     string
+	resumed     bool
+	submittedAt time.Time
+
+	fn        sweep.PointFunc
+	points    int
+	shards    int
+	trialCost int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	timer  *time.Timer
+	trace  *telemetry.FileTrace
+	doneCh chan struct{}
+
+	running    int
+	shardsDone int
+	shardRes   map[int][]sweep.PointResult
+}
+
+func (j *job) emit(typ string, fields map[string]any) {
+	if j.trace != nil {
+		j.trace.Emit(typ, fields)
+	}
+}
+
+func (j *job) sweepTrace() *telemetry.Trace {
+	if j.trace == nil {
+		return nil
+	}
+	return j.trace.Trace
+}
+
+type shardTask struct {
+	j *job
+	k int
+}
+
+type tenantUsage struct {
+	jobs   int
+	trials int64
+}
+
+// Server is the sweep job server. Construct with New, serve its Handler,
+// and shut down with Drain.
+type Server struct {
+	cfg      Config
+	fs       chaos.FS
+	journal  *Journal
+	manifest *telemetry.Manifest
+
+	runCtx  context.Context
+	stopRun context.CancelFunc
+	wg      sync.WaitGroup
+	fatalCh chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      int64
+	jobs     map[string]*job
+	order    []string
+	queue    []shardTask
+	active   int
+	tenants  map[string]*tenantUsage
+	draining bool
+	fatalErr error
+}
+
+// New opens (or creates) the data directory, replays the job journal —
+// resuming every job the previous process left non-terminal — and starts
+// the shard worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("server: Config.DataDir is required")
+	}
+	if cfg.FS == nil {
+		cfg.FS = chaos.OS
+	}
+	if cfg.JournalFS == nil {
+		cfg.JournalFS = cfg.FS
+	}
+	if cfg.PoolWorkers <= 0 {
+		cfg.PoolWorkers = 4
+	}
+	if cfg.MaxActiveJobs <= 0 {
+		cfg.MaxActiveJobs = 64
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	journal, recs, err := OpenJournal(cfg.JournalFS, filepath.Join(cfg.DataDir, "journal.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		fs:       cfg.FS,
+		journal:  journal,
+		manifest: telemetry.Collect("revft-server"),
+		fatalCh:  make(chan struct{}),
+		jobs:     make(map[string]*job),
+		tenants:  make(map[string]*tenantUsage),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.stopRun = context.WithCancel(context.Background())
+	if err := s.replay(recs); err != nil {
+		_ = journal.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.PoolWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay rebuilds job state from journal records and requeues every job
+// the previous process left non-terminal. The last record per job wins;
+// unknown record types are skipped for forward compatibility.
+func (s *Server) replay(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		j := s.jobs[rec.Job]
+		switch rec.Type {
+		case recSubmitted:
+			if rec.Spec == nil {
+				return &CorruptJournalError{Path: s.journal.path, Err: fmt.Errorf("submitted record for %s has no spec", rec.Job)}
+			}
+			spec := *rec.Spec
+			spec.normalize()
+			nj := &job{
+				id: rec.Job, spec: spec, digest: spec.Digest(),
+				state: StateQueued, submittedAt: rec.At,
+				doneCh: make(chan struct{}),
+			}
+			s.jobs[rec.Job] = nj
+			s.order = append(s.order, rec.Job)
+		case recStarted:
+			if j != nil && !j.state.Terminal() {
+				j.state = StateRunning
+			}
+		case recDone:
+			if j != nil {
+				s.replayTerminal(j, StateDone, "")
+			}
+		case recFailed:
+			if j != nil {
+				s.replayTerminal(j, StateFailed, rec.Error)
+			}
+		case recCancelled:
+			if j != nil {
+				s.replayTerminal(j, StateCancelled, rec.Error)
+			}
+		}
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.Terminal() {
+			continue
+		}
+		j.resumed = true
+		if err := s.activateLocked(j); err != nil {
+			// The driver is gone or now rejects the spec; the job cannot
+			// be resumed. Journal the failure so the next restart agrees.
+			s.finishLocked(j, StateFailed, fmt.Sprintf("resume: %v", err))
+			continue
+		}
+		s.admitLocked(j)
+		s.cfg.Metrics.Counter("server.jobs_resumed").Inc()
+		s.logf("resumed job %s (%s, state %s)", j.id, j.spec.Experiment, j.state)
+	}
+	return nil
+}
+
+func (s *Server) replayTerminal(j *job, st State, errText string) {
+	if !j.state.Terminal() {
+		j.state = st
+		j.errText = errText
+		if j.doneCh != nil {
+			close(j.doneCh)
+		}
+	}
+}
+
+// activateLocked resolves the job's driver and prepares it for execution.
+func (s *Server) activateLocked(j *job) error {
+	driver := s.cfg.Drivers[j.spec.Experiment]
+	if driver == nil {
+		return fmt.Errorf("no driver registered for experiment %q", j.spec.Experiment)
+	}
+	fn, points, err := driver(j.spec, j.spec.Grid())
+	if err != nil {
+		return err
+	}
+	if points < 1 {
+		return fmt.Errorf("driver for %q resolved %d points", j.spec.Experiment, points)
+	}
+	j.fn = fn
+	j.points = points
+	j.shards = j.spec.Shards
+	if j.shards > points {
+		j.shards = points
+	}
+	j.trialCost = int64(points) * int64(j.spec.Trials)
+	j.shardRes = make(map[int][]sweep.PointResult)
+	j.ctx, j.cancel = context.WithCancel(s.runCtx)
+	return nil
+}
+
+// admitLocked books an activated job in: quota accounting, job directory
+// and trace, deadline timer, and one queued task per shard.
+func (s *Server) admitLocked(j *job) {
+	s.active++
+	u := s.tenant(j.spec.Tenant)
+	u.jobs++
+	u.trials += j.trialCost
+
+	dir := s.jobDir(j.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.logf("job %s: mkdir: %v", j.id, err)
+	}
+	// Per-job traces are best-effort observability on the direct OS
+	// filesystem: they degrade rather than fail, and keeping them off the
+	// chaos seams keeps crash-explored op sequences about durable state
+	// only (journal, checkpoints, results).
+	m := *s.manifest
+	m.Experiment = j.spec.Experiment
+	m.Engine = j.spec.Engine
+	m.Seed = j.spec.Seed
+	m.Trials = j.spec.Trials
+	m.Workers = j.spec.Workers
+	if ft, err := telemetry.NewTraceFile(filepath.Join(dir, "trace.jsonl"), &m, telemetry.FileTraceOptions{
+		Metrics: s.cfg.Metrics, Retry: s.cfg.Retry,
+	}); err == nil {
+		j.trace = ft
+	}
+	j.emit("job_admitted", map[string]any{
+		"job": j.id, "tenant": j.spec.Tenant, "experiment": j.spec.Experiment,
+		"points": j.points, "shards": j.shards, "trials": j.spec.Trials,
+		"resumed": j.resumed,
+	})
+	s.cfg.Trace.Emit("job_admitted", map[string]any{"job": j.id, "tenant": j.spec.Tenant, "resumed": j.resumed})
+
+	if j.spec.TimeoutSeconds > 0 {
+		d := time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
+		j.timer = time.AfterFunc(d, func() { s.deadline(j) })
+	}
+	for k := 0; k < j.shards; k++ {
+		s.queue = append(s.queue, shardTask{j, k})
+	}
+	s.updateGaugesLocked()
+	s.cond.Broadcast()
+}
+
+func (s *Server) tenant(name string) *tenantUsage {
+	u := s.tenants[name]
+	if u == nil {
+		u = &tenantUsage{}
+		s.tenants[name] = u
+	}
+	return u
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", id)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) nextSeqLocked() int64 {
+	s.seq++
+	return s.seq
+}
+
+// fatalLocked records an unrecoverable server error — in practice a dead
+// journal, without which no state transition can be made durable. The
+// server stops admitting and releases the worker pool; already-journaled
+// state is intact and a restarted process resumes from it.
+func (s *Server) fatalLocked(err error) {
+	if s.fatalErr != nil {
+		return
+	}
+	s.fatalErr = err
+	close(s.fatalCh)
+	s.stopRun()
+	s.cond.Broadcast()
+	s.logf("fatal: %v", err)
+}
+
+// Err returns the server's fatal error, if any.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatalErr
+}
+
+func (s *Server) updateGaugesLocked() {
+	s.cfg.Metrics.Gauge("server.queue_depth").Set(float64(len(s.queue)))
+	s.cfg.Metrics.Gauge("server.jobs_active").Set(float64(s.active))
+}
+
+// Submit admits one job: validate, resolve the driver, check admission
+// bounds and tenant quotas, journal the submission durably, and enqueue
+// its shards. Refusals are typed *RejectError values — never a stall.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	spec.normalize()
+	if err := spec.Validate(); err != nil {
+		s.countReject(spec.Tenant, CodeInvalidSpec)
+		return JobStatus{}, reject(CodeInvalidSpec, 400, "%v", err)
+	}
+	if s.cfg.Drivers[spec.Experiment] == nil {
+		s.countReject(spec.Tenant, CodeUnknownExperiment)
+		return JobStatus{}, reject(CodeUnknownExperiment, 400, "no driver registered for experiment %q", spec.Experiment)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := &job{
+		spec: spec, digest: spec.Digest(),
+		state: StateQueued, submittedAt: time.Now().UTC(),
+		doneCh: make(chan struct{}),
+	}
+	if err := s.activateLocked(j); err != nil {
+		s.countReject(spec.Tenant, CodeInvalidSpec)
+		return JobStatus{}, reject(CodeInvalidSpec, 400, "%v", err)
+	}
+	if rerr := s.admissionCheckLocked(j); rerr != nil {
+		j.cancel()
+		s.countReject(spec.Tenant, rerr.Code)
+		return JobStatus{}, rerr
+	}
+	j.id = fmt.Sprintf("j%06d-%.8s", s.nextSeqLocked(), j.digest)
+	rec := Record{Seq: s.seq, Type: recSubmitted, Job: j.id, At: j.submittedAt, Spec: &j.spec}
+	if err := s.journal.Append(rec); err != nil {
+		j.cancel()
+		s.fatalLocked(err)
+		return JobStatus{}, reject(CodeServerFailed, 503, "journal write failed: %v", err)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.admitLocked(j)
+	s.cfg.Metrics.Counter("server.jobs_submitted").Inc()
+	s.cfg.Metrics.Counter("server.tenant." + j.spec.Tenant + ".jobs_submitted").Inc()
+	return s.statusLocked(j), nil
+}
+
+// admissionCheckLocked applies the bounded queue and per-tenant quotas.
+func (s *Server) admissionCheckLocked(j *job) *RejectError {
+	if s.fatalErr != nil {
+		return reject(CodeServerFailed, 503, "server failed: %v", s.fatalErr)
+	}
+	if s.draining {
+		return reject(CodeDraining, 503, "server is draining; submit to another instance")
+	}
+	if s.active >= s.cfg.MaxActiveJobs {
+		return reject(CodeQueueFull, 429, "active job queue is full (%d jobs); retry later", s.active)
+	}
+	u := s.tenant(j.spec.Tenant)
+	if s.cfg.MaxJobsPerTenant > 0 && u.jobs >= s.cfg.MaxJobsPerTenant {
+		return reject(CodeTenantJobQuota, 429, "tenant %q already has %d active job(s); limit %d",
+			j.spec.Tenant, u.jobs, s.cfg.MaxJobsPerTenant)
+	}
+	if s.cfg.MaxTrialsPerTenant > 0 && u.trials+j.trialCost > s.cfg.MaxTrialsPerTenant {
+		return reject(CodeTenantTrialQuota, 429, "tenant %q in-flight trial budget %d + %d exceeds limit %d",
+			j.spec.Tenant, u.trials, j.trialCost, s.cfg.MaxTrialsPerTenant)
+	}
+	return nil
+}
+
+func (s *Server) countReject(tenant, code string) {
+	s.cfg.Metrics.Counter("server.jobs_rejected").Inc()
+	s.cfg.Metrics.Counter("server.reject." + code).Inc()
+	if tenant != "" {
+		s.cfg.Metrics.Counter("server.tenant." + tenant + ".jobs_rejected").Inc()
+	}
+}
+
+// worker is one pool goroutine: claim the next runnable shard, run it,
+// repeat until drain or fatal.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		t, ok := s.next()
+		if !ok {
+			return
+		}
+		s.runShard(t)
+	}
+}
+
+// next blocks for a runnable shard task. It returns ok=false when the
+// server is draining (or fatally failed) and the queue holds no more
+// work for this worker.
+func (s *Server) next() (shardTask, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.queue) > 0 {
+			t := s.queue[0]
+			s.queue = s.queue[1:]
+			j := t.j
+			if j.state.Terminal() {
+				continue // cancelled or deadlined while queued
+			}
+			if s.draining || s.fatalErr != nil {
+				// Admitted but unstarted shards stay journaled as
+				// non-terminal; the next process requeues them.
+				continue
+			}
+			if j.state == StateQueued {
+				rec := Record{Seq: s.nextSeqLocked(), Type: recStarted, Job: j.id, At: time.Now().UTC()}
+				if err := s.journal.Append(rec); err != nil {
+					s.fatalLocked(err)
+					return shardTask{}, false
+				}
+				j.state = StateRunning
+			}
+			j.running++
+			s.updateGaugesLocked()
+			return t, true
+		}
+		if s.draining || s.fatalErr != nil {
+			return shardTask{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// runShard executes one shard of one job as a checkpointed sweep, with a
+// budgeted retry for trial panics: the shard's checkpoint holds every
+// point completed before the panic, so a retry resumes instead of
+// recomputing, and the original per-point seeds keep the eventual result
+// bit-identical.
+func (s *Server) runShard(t shardTask) {
+	j := t.j
+	spec := s.shardSpec(j, t.k)
+	ckPath := filepath.Join(s.jobDir(j.id), fmt.Sprintf("shard-%03d.json", t.k))
+
+	pol := s.cfg.ShardRetry
+	pol.Retryable = func(err error) bool {
+		var pe *sim.TrialPanicError
+		return errors.As(err, &pe)
+	}
+	pol.OnRetry = func(attempt int, err error, delay time.Duration) {
+		s.cfg.Metrics.Counter("server.shard_retries").Inc()
+		fields := map[string]any{
+			"job": j.id, "shard": t.k, "attempt": attempt,
+			"error": err.Error(), "backoff_seconds": delay.Seconds(),
+		}
+		var pe *sim.TrialPanicError
+		if errors.As(err, &pe) {
+			// Carry the panic provenance so a retried shard's trace still
+			// pins which worker stream and harness seed blew up.
+			fields["panic_worker"] = pe.Worker
+			fields["panic_seed"] = pe.Seed
+			fields["panic_value"] = fmt.Sprint(pe.Value)
+		}
+		j.emit("shard_retry", fields)
+		s.logf("job %s shard %d: retrying after %v", j.id, t.k, err)
+	}
+
+	var out *sweep.Outcome
+	err := pol.Do(j.ctx, func() error {
+		r := &sweep.Runner{
+			Spec:           spec,
+			Point:          shardPointFunc(j.fn, t.k, j.shards),
+			CheckpointPath: ckPath,
+			Resume:         s.exists(ckPath),
+			Metrics:        s.cfg.Metrics,
+			Trace:          j.sweepTrace(),
+			FS:             s.fs,
+			Retry:          s.cfg.Retry,
+		}
+		o, rerr := r.Run(j.ctx)
+		out = o
+		return rerr
+	})
+	s.shardFinished(j, t.k, out, err)
+}
+
+// exists probes a path through the server's FS seam.
+func (s *Server) exists(path string) bool {
+	m, err := s.fs.Glob(path)
+	return err == nil && len(m) > 0
+}
+
+// shardSpec derives shard k's sweep spec. The Extra field binds the
+// checkpoint digest to the job spec digest and the shard's position, so
+// a shard can only ever resume its own checkpoint — and after a restart
+// it does, because the same job spec re-derives the same shard specs.
+func (s *Server) shardSpec(j *job, k int) sweep.Spec {
+	var stop sweep.StopRule
+	if j.spec.RelTol > 0 {
+		stop = sweep.StopRule{RelTol: j.spec.RelTol, MaxTrials: j.spec.Trials, ZeroScale: j.spec.ZeroScale}
+	}
+	return sweep.Spec{
+		Experiment: j.spec.Experiment,
+		Grid:       j.spec.Grid(),
+		Points:     shardPoints(j.points, j.shards, k),
+		Trials:     j.spec.Trials,
+		Workers:    j.spec.Workers,
+		Seed:       j.spec.Seed,
+		Engine:     j.spec.Engine,
+		Extra:      fmt.Sprintf("job=%.12s shard=%d/%d maxlevel=%d bits=%d", j.digest, k, j.shards, j.spec.MaxLevel, j.spec.Bits),
+		Stop:       stop,
+	}
+}
+
+// shardFinished books one shard's outcome and decides the job's fate.
+func (s *Server) shardFinished(j *job, k int, out *sweep.Outcome, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.running--
+	switch {
+	case err == nil && out != nil && out.Complete:
+		j.shardRes[k] = out.Done
+		j.shardsDone++
+		j.emit("shard_done", map[string]any{
+			"job": j.id, "shard": k, "points": len(out.Done), "resumed_points": out.Resumed,
+		})
+		if j.shardsDone == j.shards && !j.state.Terminal() {
+			s.completeLocked(j)
+		}
+	case j.state.Terminal():
+		// Cancelled or deadlined underneath us; the terminal transition
+		// is already journaled.
+	case s.runCtx.Err() != nil:
+		// Draining (or fatal): the shard flushed its checkpoint on the
+		// way out and the job stays journaled non-terminal, so the next
+		// process resumes it exactly here.
+		j.emit("shard_parked", map[string]any{"job": j.id, "shard": k})
+	default:
+		if err == nil {
+			err = errors.New("shard sweep incomplete without error")
+		}
+		s.finishLocked(j, StateFailed, fmt.Sprintf("shard %d: %v", k, err))
+	}
+	s.updateGaugesLocked()
+}
+
+// completeLocked merges the shards, writes result.json atomically, and
+// journals the job done.
+func (s *Server) completeLocked(j *job) {
+	res, err := j.mergeResult()
+	var data []byte
+	if err == nil {
+		data, err = json.MarshalIndent(res, "", "  ")
+	}
+	if err == nil {
+		data = append(data, '\n')
+		path := filepath.Join(s.jobDir(j.id), "result.json")
+		// Background, not j.ctx: the merge is pure bookkeeping of already
+		// computed trials, and it must be allowed to land even while a
+		// drain is cancelling the run contexts.
+		err = s.cfg.Retry.Do(context.Background(), func() error {
+			return writeFileAtomic(s.fs, path, data)
+		})
+	}
+	if err != nil {
+		s.finishLocked(j, StateFailed, fmt.Sprintf("write result: %v", err))
+		return
+	}
+	s.finishLocked(j, StateDone, "")
+}
+
+// mergeResult stitches the shards' point results back into global point
+// order and verifies no point is missing or duplicated.
+func (j *job) mergeResult() (*Result, error) {
+	pts := make([]ResultPoint, j.points)
+	seen := make([]bool, j.points)
+	for k, res := range j.shardRes {
+		for _, p := range res {
+			if p.Partial {
+				return nil, fmt.Errorf("shard %d reported a partial point in a complete outcome", k)
+			}
+			g := k + p.Index*j.shards
+			if g < 0 || g >= j.points || seen[g] {
+				return nil, fmt.Errorf("shard %d produced bad global point %d", k, g)
+			}
+			pts[g] = ResultPoint{Index: g, Ests: p.Ests, Stopped: p.Stopped}
+			seen[g] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("point %d missing after shard merge", i)
+		}
+	}
+	return &Result{
+		ID:         j.id,
+		Experiment: j.spec.Experiment,
+		SpecDigest: j.digest,
+		Grid:       j.spec.Grid(),
+		Points:     pts,
+	}, nil
+}
+
+// finishLocked journals and applies a terminal transition, releases the
+// job's quota and timer, and closes its trace.
+func (s *Server) finishLocked(j *job, st State, errText string) {
+	if j.state.Terminal() {
+		return
+	}
+	recType := map[State]string{StateDone: recDone, StateFailed: recFailed, StateCancelled: recCancelled}[st]
+	rec := Record{Seq: s.nextSeqLocked(), Type: recType, Job: j.id, At: time.Now().UTC(), Error: errText}
+	if err := s.journal.Append(rec); err != nil {
+		// The transition could not be made durable; a restart will rerun
+		// the job. Still apply it in memory so waiters are released.
+		s.fatalLocked(err)
+	}
+	j.state = st
+	j.errText = errText
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	close(j.doneCh)
+	s.active--
+	u := s.tenant(j.spec.Tenant)
+	u.jobs--
+	u.trials -= j.trialCost
+	j.emit("job_"+string(st), map[string]any{"job": j.id, "error": errText})
+	s.cfg.Trace.Emit("job_"+string(st), map[string]any{"job": j.id, "tenant": j.spec.Tenant, "error": errText})
+	if j.trace != nil {
+		_ = j.trace.Close()
+	}
+	s.cfg.Metrics.Counter("server.jobs_" + string(st)).Inc()
+	s.cfg.Metrics.Counter("server.tenant." + j.spec.Tenant + ".jobs_" + string(st)).Inc()
+	s.updateGaugesLocked()
+}
+
+// deadline fires a job's timeout.
+func (s *Server) deadline(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() || s.draining {
+		return
+	}
+	s.finishLocked(j, StateFailed, fmt.Sprintf("deadline exceeded after %gs", j.spec.TimeoutSeconds))
+}
+
+// Cancel terminates a job. Cancelling an already-terminal job is a no-op
+// returning its status.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, ErrNotFound
+	}
+	if !j.state.Terminal() {
+		if s.draining {
+			return s.statusLocked(j), reject(CodeDraining, 503, "server is draining")
+		}
+		s.finishLocked(j, StateCancelled, "cancelled by client")
+	}
+	return s.statusLocked(j), nil
+}
+
+// Job returns one job's status.
+func (s *Server) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs returns every known job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+func (s *Server) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID: j.id, Tenant: j.spec.Tenant, Experiment: j.spec.Experiment,
+		State: j.state, Error: j.errText,
+		Points: j.points, Trials: j.spec.Trials,
+		Shards: j.shards, ShardsDone: j.shardsDone,
+		Resumed: j.resumed, SpecDigest: j.digest, SubmittedAt: j.submittedAt,
+	}
+}
+
+// Result returns the serialized result.json of a completed job.
+func (s *Server) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	var st State
+	if j != nil {
+		st = j.state
+	}
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	if st != StateDone {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, st)
+	}
+	return s.fs.ReadFile(filepath.Join(s.jobDir(id), "result.json"))
+}
+
+// TracePath returns the job's trace file path ("" if the trace degraded
+// before creation).
+func (s *Server) TracePath(id string) (string, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return "", ErrNotFound
+	}
+	if j.trace == nil {
+		return "", nil
+	}
+	return j.trace.Path, nil
+}
+
+// Wait blocks until the job reaches a terminal state, the context ends,
+// or the server drains or fails; it returns the job's status at that
+// moment.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobStatus{}, ErrNotFound
+	}
+	var werr error
+	select {
+	case <-j.doneCh:
+	case <-ctx.Done():
+		werr = ctx.Err()
+	case <-s.fatalCh:
+		werr = s.Err()
+	case <-s.runCtx.Done():
+		werr = errors.New("server: draining")
+	}
+	st, err := s.Job(id)
+	if err != nil {
+		return st, err
+	}
+	return st, werr
+}
+
+// Drain is the graceful shutdown: stop admitting, cancel the run context
+// so every in-flight shard flushes its checkpoint at the next point
+// boundary, wait for the pool, flush traces, and close the journal.
+// Running jobs stay journaled non-terminal — a restarted server resumes
+// them bit-identically — and ctx bounds how long the drain may take.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	s.stopRun()
+	s.cond.Broadcast()
+	if already {
+		return errors.New("server: already draining")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.Terminal() {
+			continue
+		}
+		if j.timer != nil {
+			j.timer.Stop()
+		}
+		j.emit("job_parked", map[string]any{"job": j.id, "shards_done": j.shardsDone})
+		if j.trace != nil {
+			_ = j.trace.Close()
+		}
+	}
+	jerr := s.journal.Close()
+	if s.fatalErr != nil {
+		return s.fatalErr
+	}
+	return jerr
+}
+
+// Close drains with no time bound.
+func (s *Server) Close() error { return s.Drain(context.Background()) }

@@ -63,6 +63,16 @@ func NewTraceFile(path string, m *Manifest, opts FileTraceOptions) (*FileTrace, 
 		w.degrade(fmt.Errorf("create %s: %w", path, err))
 	} else {
 		w.f = f
+		// Reclaim stale temp files an earlier crashed writer left next to
+		// the trace (the same sweep the checkpoint writer performs after a
+		// completed save): anything matching path+".tmp*" is an orphan of
+		// a process that died between CreateTemp and Rename. Best-effort —
+		// a failure here leaves litter, never a broken trace.
+		if stale, gerr := fsys.Glob(path + ".tmp*"); gerr == nil {
+			for _, s := range stale {
+				_ = fsys.Remove(s)
+			}
+		}
 	}
 	tr, terr := NewTrace(w, m)
 	if terr != nil {

@@ -180,3 +180,37 @@ func TestFileTraceCreateFailureDegradesImmediately(t *testing.T) {
 		t.Errorf("Close = %v", err)
 	}
 }
+
+// TestFileTraceReclaimsStaleTempFiles: orphaned path+".tmp*" files from a
+// crashed earlier writer are swept up when a new trace opens, mirroring
+// the checkpoint writer's reclamation; unrelated neighbours survive.
+func TestFileTraceReclaimsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	stale1 := path + ".tmp123"
+	stale2 := path + ".tmp999"
+	bystander := filepath.Join(dir, "other.jsonl.tmp1")
+	for _, p := range []string{stale1, stale2, bystander} {
+		if err := os.WriteFile(p, []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ft, err := NewTraceFile(path, Collect("test"), FileTraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{stale1, stale2} {
+		if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+			t.Errorf("stale temp %s survived trace startup", p)
+		}
+	}
+	if _, serr := os.Stat(bystander); serr != nil {
+		t.Errorf("unrelated file %s was reclaimed: %v", bystander, serr)
+	}
+	if _, serr := os.Stat(path); serr != nil {
+		t.Errorf("trace file missing after reclamation: %v", serr)
+	}
+}
