@@ -298,6 +298,10 @@ func run(args []string) error {
 			Trace:      tr,
 			Manifest:   man,
 			FS:         fsys,
+			// Root the trace's span tree at the run so CLI traces carry
+			// the same run/<exp> → point causality the job server's
+			// request → job → shard → point chain does.
+			Span: telemetry.Root("run/" + *expName),
 		}
 		if *progress {
 			o.Progress = os.Stderr

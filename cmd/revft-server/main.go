@@ -12,8 +12,17 @@
 //
 //	curl -X POST :8023/jobs -d '{"experiment":"recovery","gmin":1e-3,...}'
 //	curl :8023/jobs/<id>            # poll status
+//	curl :8023/jobs/<id>/progress   # live trials/points done, per-shard
+//	                                # wall-time histograms, Wilson
+//	                                # half-width trajectory, ETA
+//	curl :8023/jobs/<id>/metrics    # merged cross-shard telemetry snapshot
+//	                                # (JSON; ?format=text for exposition)
 //	curl :8023/jobs/<id>/result     # fetch result.json once done
 //	curl -X DELETE :8023/jobs/<id>  # cancel
+//
+// -debug-addr serves /debug/pprof/ alongside /metrics and /debug/vars;
+// shard workers run under pprof labels (job, tenant, shard), so a CPU
+// profile of a busy server slices engine time per job.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the server stops admitting,
 // in-flight shards checkpoint at the next point boundary, traces flush,
@@ -84,6 +93,7 @@ func run(args []string) error {
 		tenantJobs   = fs.Int("tenant-jobs", 8, "per-tenant concurrent active job quota (0 = unlimited)")
 		tenantTrials = fs.Int64("tenant-trials", 0, "per-tenant in-flight trial budget, points x trials summed over active jobs (0 = unlimited)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "bound on the SIGTERM graceful drain")
+		debugAddr    = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this host:port while the server runs")
 		chaosRate    = fs.Float64("chaos", 0, "fault-injection probability per checkpoint/result write operation, in [0,1)")
 		chaosSeed    = fs.Uint64("chaos-seed", 1, "seed for the injected fault sequence")
 	)
@@ -124,6 +134,19 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		d, derr := telemetry.ServeDebug(*debugAddr, reg)
+		if derr != nil {
+			_ = srv.Close()
+			return fmt.Errorf("debug server: %w", derr)
+		}
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			_ = d.Shutdown(sctx)
+		}()
+		log.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof/)", d.Addr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

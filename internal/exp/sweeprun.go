@@ -62,6 +62,10 @@ type SweepOptions struct {
 	// Retry governs checkpoint-write retries; the zero value is the
 	// chaos package default policy.
 	Retry chaos.Policy
+	// Span, when non-zero, roots the sweep's trace events: sweep-level
+	// events carry it and each point's events a per-point child, so one
+	// trace file holding several sweeps reconstructs into causal trees.
+	Span telemetry.Span
 }
 
 func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner {
@@ -76,6 +80,7 @@ func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner 
 		Manifest:       o.Manifest,
 		FS:             o.FS,
 		Retry:          o.Retry,
+		Span:           o.Span,
 	}
 }
 

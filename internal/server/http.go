@@ -6,22 +6,28 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+
+	"revft/internal/telemetry"
 )
 
 // Handler returns the server's HTTP API:
 //
-//	POST   /jobs             submit a JobSpec, get 202 + JobStatus
-//	GET    /jobs             list all jobs
-//	GET    /jobs/{id}        poll one job's status
-//	GET    /jobs/{id}/result fetch a completed job's result.json
-//	GET    /jobs/{id}/trace  fetch a job's JSONL trace
-//	DELETE /jobs/{id}        cancel a job
-//	GET    /healthz          liveness + drain state
-//	GET    /metrics          telemetry registry in text exposition format
+//	POST   /jobs               submit a JobSpec, get 202 + JobStatus
+//	GET    /jobs               list all jobs
+//	GET    /jobs/{id}          poll one job's status
+//	GET    /jobs/{id}/result   fetch a completed job's result.json
+//	GET    /jobs/{id}/trace    fetch a job's JSONL trace
+//	GET    /jobs/{id}/metrics  merged cross-shard telemetry snapshot
+//	                           (JSON; ?format=text for text exposition)
+//	GET    /jobs/{id}/progress live progress, per-shard histograms, ETA
+//	DELETE /jobs/{id}          cancel a job
+//	GET    /healthz            liveness + drain state
+//	GET    /metrics            server-wide aggregate in text exposition
 //
 // Typed admission rejections surface as their RejectError status (429 for
 // overload and quota, 400 for bad specs, 503 while draining) with a JSON
-// body carrying the machine-readable code.
+// body carrying the machine-readable code. Unknown job IDs are 404s on
+// every per-job route, including metrics and progress.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -29,6 +35,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -67,7 +75,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, reject(CodeInvalidSpec, http.StatusBadRequest, "decode spec: %v", err))
 		return
 	}
-	st, err := s.Submit(spec)
+	// Each submission gets a request span; the admitted job's span tree
+	// roots under it, so traces reconstruct request → job → shard → point.
+	reqSpan := telemetry.Root(fmt.Sprintf("req-%d", s.reqSeq.Add(1)))
+	st, err := s.SubmitSpan(spec, reqSpan)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -143,7 +154,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.cfg.Metrics != nil {
-		_ = s.cfg.Metrics.WriteMetrics(w)
+	_ = s.MetricsSnapshot().WriteText(w)
+}
+
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.JobMetrics(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
 	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	p, err := s.Progress(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }

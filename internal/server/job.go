@@ -85,12 +85,32 @@ func (s *JobSpec) normalize() {
 	}
 }
 
+// validTenant reports whether a (normalized) tenant name stays within the
+// charset [A-Za-z0-9._-] and 64 bytes — the bound that keeps tenant-
+// derived metric names and quota keys from absorbing arbitrary input.
+func validTenant(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks the driver-independent fields; experiment-specific
 // validation belongs to the Driver.
 func (s JobSpec) Validate() error {
 	switch {
 	case s.Experiment == "":
 		return fmt.Errorf("experiment is required")
+	case !validTenant(s.Tenant):
+		return fmt.Errorf("tenant %q: need 1-64 characters from [A-Za-z0-9._-]", s.Tenant)
 	case s.Points < 1:
 		return fmt.Errorf("points %d: need at least 1", s.Points)
 	case s.Trials < 1:

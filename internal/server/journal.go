@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"revft/internal/chaos"
+	"revft/internal/telemetry"
 )
 
 // Journal record types. Every job-state transition appends exactly one
@@ -59,6 +60,10 @@ type Journal struct {
 	mu   sync.Mutex
 	f    chaos.File
 	path string
+	// metrics, when non-nil, receives the append+fsync latency histogram
+	// (server.journal_append_seconds) — the server's fundamental
+	// durability SLO, since every state transition pays it.
+	metrics *telemetry.Registry
 }
 
 // OpenJournal reads and replays the journal at path (a missing file is an
@@ -142,12 +147,15 @@ func (j *Journal) Append(rec Record) error {
 	if j.f == nil {
 		return fmt.Errorf("server: journal %s is closed", j.path)
 	}
+	start := time.Now()
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("server: append journal record: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("server: sync journal: %w", err)
 	}
+	j.metrics.Histogram("server.journal_append_seconds", telemetry.LatencyBuckets).
+		Observe(time.Since(start).Seconds())
 	return nil
 }
 

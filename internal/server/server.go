@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revft/internal/chaos"
@@ -96,6 +99,12 @@ type job struct {
 	trace  *telemetry.FileTrace
 	doneCh chan struct{}
 
+	// span roots the job's causal trace tree (request → job → shard →
+	// point); obs is its observability plane (per-shard registries,
+	// progress, trajectory).
+	span telemetry.Span
+	obs  *jobObs
+
 	running    int
 	shardsDone int
 	shardRes   map[int][]sweep.PointResult
@@ -147,6 +156,63 @@ type Server struct {
 	tenants  map[string]*tenantUsage
 	draining bool
 	fatalErr error
+	// retired accumulates terminal jobs' merged per-shard snapshots so the
+	// server-wide /metrics view conserves their trial counters after their
+	// live registries are released.
+	retired telemetry.Snapshot
+
+	reqSeq  atomic.Int64
+	tlabels tenantLabels
+}
+
+// tenantLabels bounds the tenant-name cardinality admitted into metric
+// names. Tenant strings reach countReject before validation, so they are
+// sanitized here, and the set of distinct names that may mint new metric
+// series is capped — every tenant past the cap reports under "overflow".
+type tenantLabels struct {
+	mu    sync.Mutex
+	names map[string]string
+}
+
+// maxTenantLabels caps distinct tenant metric label values per process.
+const maxTenantLabels = 64
+
+func (t *tenantLabels) label(name string) string {
+	clean := sanitizeTenant(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.names[clean]; ok {
+		return l
+	}
+	if t.names == nil {
+		t.names = make(map[string]string)
+	}
+	if len(t.names) >= maxTenantLabels {
+		return "overflow"
+	}
+	t.names[clean] = clean
+	return clean
+}
+
+// sanitizeTenant maps an arbitrary string onto the tenant charset
+// [A-Za-z0-9._-], truncated to 64 bytes, so a hostile tenant field can
+// never splice structure into a metric name.
+func sanitizeTenant(name string) string {
+	if name == "" {
+		return "default"
+	}
+	b := []byte(name)
+	if len(b) > 64 {
+		b = b[:64]
+	}
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }
 
 // New opens (or creates) the data directory, replays the job journal —
@@ -175,6 +241,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	journal.metrics = cfg.Metrics
 	s := &Server{
 		cfg:      cfg,
 		fs:       cfg.FS,
@@ -301,6 +368,11 @@ func (s *Server) admitLocked(j *job) {
 	u := s.tenant(j.spec.Tenant)
 	u.jobs++
 	u.trials += j.trialCost
+	if j.span.Zero() {
+		// Replayed jobs have no originating request; the job is the root.
+		j.span = telemetry.Root(j.id)
+	}
+	j.obs = newJobObs(j.shards)
 
 	dir := s.jobDir(j.id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -321,19 +393,21 @@ func (s *Server) admitLocked(j *job) {
 	}); err == nil {
 		j.trace = ft
 	}
-	j.emit("job_admitted", map[string]any{
+	j.emit("job_admitted", j.span.Tag(map[string]any{
 		"job": j.id, "tenant": j.spec.Tenant, "experiment": j.spec.Experiment,
 		"points": j.points, "shards": j.shards, "trials": j.spec.Trials,
 		"resumed": j.resumed,
-	})
-	s.cfg.Trace.Emit("job_admitted", map[string]any{"job": j.id, "tenant": j.spec.Tenant, "resumed": j.resumed})
+	}))
+	s.cfg.Trace.Emit("job_admitted", j.span.Tag(map[string]any{"job": j.id, "tenant": j.spec.Tenant, "resumed": j.resumed}))
 
 	if j.spec.TimeoutSeconds > 0 {
 		d := time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
 		j.timer = time.AfterFunc(d, func() { s.deadline(j) })
 	}
+	now := time.Now()
 	for k := 0; k < j.shards; k++ {
 		s.queue = append(s.queue, shardTask{j, k})
+		j.obs.enqueued(k, now)
 	}
 	s.updateGaugesLocked()
 	s.cond.Broadcast()
@@ -394,6 +468,18 @@ func (s *Server) updateGaugesLocked() {
 // bounds and tenant quotas, journal the submission durably, and enqueue
 // its shards. Refusals are typed *RejectError values — never a stall.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitSpan(spec, telemetry.Span{})
+}
+
+// SubmitSpan is Submit with an originating request span: the admitted
+// job's span tree roots under parent, so a trace reconstructs the full
+// request → job → shard → point causality.
+func (s *Server) SubmitSpan(spec JobSpec, parent telemetry.Span) (JobStatus, error) {
+	start := time.Now()
+	defer func() {
+		s.cfg.Metrics.Histogram("server.admission_seconds", telemetry.LatencyBuckets).
+			Observe(time.Since(start).Seconds())
+	}()
 	spec.normalize()
 	if err := spec.Validate(); err != nil {
 		s.countReject(spec.Tenant, CodeInvalidSpec)
@@ -421,6 +507,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, rerr
 	}
 	j.id = fmt.Sprintf("j%06d-%.8s", s.nextSeqLocked(), j.digest)
+	j.span = telemetry.Span{ID: j.id, Parent: parent.ID}
 	rec := Record{Seq: s.seq, Type: recSubmitted, Job: j.id, At: j.submittedAt, Spec: &j.spec}
 	if err := s.journal.Append(rec); err != nil {
 		j.cancel()
@@ -431,7 +518,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.order = append(s.order, j.id)
 	s.admitLocked(j)
 	s.cfg.Metrics.Counter("server.jobs_submitted").Inc()
-	s.cfg.Metrics.Counter("server.tenant." + j.spec.Tenant + ".jobs_submitted").Inc()
+	s.cfg.Metrics.Counter("server.tenant." + s.tlabels.label(j.spec.Tenant) + ".jobs_submitted").Inc()
 	return s.statusLocked(j), nil
 }
 
@@ -446,14 +533,20 @@ func (s *Server) admissionCheckLocked(j *job) *RejectError {
 	if s.active >= s.cfg.MaxActiveJobs {
 		return reject(CodeQueueFull, 429, "active job queue is full (%d jobs); retry later", s.active)
 	}
-	u := s.tenant(j.spec.Tenant)
-	if s.cfg.MaxJobsPerTenant > 0 && u.jobs >= s.cfg.MaxJobsPerTenant {
-		return reject(CodeTenantJobQuota, 429, "tenant %q already has %d active job(s); limit %d",
-			j.spec.Tenant, u.jobs, s.cfg.MaxJobsPerTenant)
+	// Read-only view: a rejected submission must not leave a tenant map
+	// entry behind (unbounded growth under a tenant-name scan).
+	var jobs int
+	var trials int64
+	if u := s.tenants[j.spec.Tenant]; u != nil {
+		jobs, trials = u.jobs, u.trials
 	}
-	if s.cfg.MaxTrialsPerTenant > 0 && u.trials+j.trialCost > s.cfg.MaxTrialsPerTenant {
+	if s.cfg.MaxJobsPerTenant > 0 && jobs >= s.cfg.MaxJobsPerTenant {
+		return reject(CodeTenantJobQuota, 429, "tenant %q already has %d active job(s); limit %d",
+			j.spec.Tenant, jobs, s.cfg.MaxJobsPerTenant)
+	}
+	if s.cfg.MaxTrialsPerTenant > 0 && trials+j.trialCost > s.cfg.MaxTrialsPerTenant {
 		return reject(CodeTenantTrialQuota, 429, "tenant %q in-flight trial budget %d + %d exceeds limit %d",
-			j.spec.Tenant, u.trials, j.trialCost, s.cfg.MaxTrialsPerTenant)
+			j.spec.Tenant, trials, j.trialCost, s.cfg.MaxTrialsPerTenant)
 	}
 	return nil
 }
@@ -461,9 +554,9 @@ func (s *Server) admissionCheckLocked(j *job) *RejectError {
 func (s *Server) countReject(tenant, code string) {
 	s.cfg.Metrics.Counter("server.jobs_rejected").Inc()
 	s.cfg.Metrics.Counter("server.reject." + code).Inc()
-	if tenant != "" {
-		s.cfg.Metrics.Counter("server.tenant." + tenant + ".jobs_rejected").Inc()
-	}
+	// tenant arrives unvalidated here (rejections fire before Validate
+	// passes), so the label is sanitized and cardinality-bounded.
+	s.cfg.Metrics.Counter("server.tenant." + s.tlabels.label(tenant) + ".jobs_rejected").Inc()
 }
 
 // worker is one pool goroutine: claim the next runnable shard, run it,
@@ -508,6 +601,8 @@ func (s *Server) next() (shardTask, bool) {
 			}
 			j.running++
 			s.updateGaugesLocked()
+			wait := j.obs.claimed(t.k, time.Now())
+			s.cfg.Metrics.Histogram("server.queue_wait_seconds", telemetry.WallBuckets).Observe(wait)
 			return t, true
 		}
 		if s.draining || s.fatalErr != nil {
@@ -526,6 +621,7 @@ func (s *Server) runShard(t shardTask) {
 	j := t.j
 	spec := s.shardSpec(j, t.k)
 	ckPath := filepath.Join(s.jobDir(j.id), fmt.Sprintf("shard-%03d.json", t.k))
+	sspan := j.span.Child("s" + strconv.Itoa(t.k))
 
 	pol := s.cfg.ShardRetry
 	pol.Retryable = func(err error) bool {
@@ -534,6 +630,8 @@ func (s *Server) runShard(t shardTask) {
 	}
 	pol.OnRetry = func(attempt int, err error, delay time.Duration) {
 		s.cfg.Metrics.Counter("server.shard_retries").Inc()
+		s.cfg.Metrics.Histogram("server.shard_retry_backoff_seconds", telemetry.LatencyBuckets).
+			Observe(delay.Seconds())
 		fields := map[string]any{
 			"job": j.id, "shard": t.k, "attempt": attempt,
 			"error": err.Error(), "backoff_seconds": delay.Seconds(),
@@ -546,25 +644,53 @@ func (s *Server) runShard(t shardTask) {
 			fields["panic_seed"] = pe.Seed
 			fields["panic_value"] = fmt.Sprint(pe.Value)
 		}
-		j.emit("shard_retry", fields)
+		j.emit("shard_retry", sspan.Tag(fields))
 		s.logf("job %s shard %d: retrying after %v", j.id, t.k, err)
 	}
 
 	var out *sweep.Outcome
-	err := pol.Do(j.ctx, func() error {
-		r := &sweep.Runner{
-			Spec:           spec,
-			Point:          shardPointFunc(j.fn, t.k, j.shards),
-			CheckpointPath: ckPath,
-			Resume:         s.exists(ckPath),
-			Metrics:        s.cfg.Metrics,
-			Trace:          j.sweepTrace(),
-			FS:             s.fs,
-			Retry:          s.cfg.Retry,
-		}
-		o, rerr := r.Run(j.ctx)
-		out = o
-		return rerr
+	var err error
+	// pprof labels attribute every sample below — including the engine
+	// worker goroutines the sweep spawns, which inherit them — to the
+	// job, tenant, and shard, so `go tool pprof` can slice a busy server's
+	// CPU profile per job.
+	pprof.Do(j.ctx, pprof.Labels(
+		"job", j.id, "tenant", j.spec.Tenant, "shard", strconv.Itoa(t.k),
+	), func(ctx context.Context) {
+		err = pol.Do(ctx, func() error {
+			// Each attempt gets a fresh per-shard registry seeded from the
+			// checkpoint's snapshot, so a retried attempt's abandoned
+			// counters never pollute the shard's merged view: metrics
+			// always restate exactly what the checkpoint covers plus the
+			// live attempt.
+			reg := telemetry.New()
+			resume := s.exists(ckPath)
+			var base *telemetry.Snapshot
+			if resume {
+				if ck, lerr := sweep.LoadFS(s.fs, ckPath); lerr == nil && ck.Metrics != nil {
+					c := ck.Metrics.Clone()
+					base = &c
+				}
+			}
+			j.obs.beginAttempt(t.k, reg, base)
+			r := &sweep.Runner{
+				Spec:           spec,
+				Point:          shardPointFunc(j.fn, t.k, j.shards),
+				CheckpointPath: ckPath,
+				Resume:         resume,
+				Metrics:        reg,
+				Trace:          j.sweepTrace(),
+				FS:             s.fs,
+				Retry:          s.cfg.Retry,
+				Span:           sspan,
+				OnPoint: func(p sweep.PointResult, resumed bool) {
+					j.obs.onPoint(t.k, j.shards, p, resumed)
+				},
+			}
+			o, rerr := r.Run(ctx)
+			out = o
+			return rerr
+		})
 	})
 	s.shardFinished(j, t.k, out, err)
 }
@@ -599,28 +725,37 @@ func (s *Server) shardSpec(j *job, k int) sweep.Spec {
 
 // shardFinished books one shard's outcome and decides the job's fate.
 func (s *Server) shardFinished(j *job, k int, out *sweep.Outcome, err error) {
+	var outMetrics *telemetry.Snapshot
+	if out != nil {
+		outMetrics = out.Metrics
+	}
+	sspan := j.span.Child("s" + strconv.Itoa(k))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.running--
 	switch {
 	case err == nil && out != nil && out.Complete:
+		j.obs.finished(k, "done", outMetrics)
 		j.shardRes[k] = out.Done
 		j.shardsDone++
-		j.emit("shard_done", map[string]any{
+		j.emit("shard_done", sspan.Tag(map[string]any{
 			"job": j.id, "shard": k, "points": len(out.Done), "resumed_points": out.Resumed,
-		})
+		}))
 		if j.shardsDone == j.shards && !j.state.Terminal() {
 			s.completeLocked(j)
 		}
 	case j.state.Terminal():
 		// Cancelled or deadlined underneath us; the terminal transition
 		// is already journaled.
+		j.obs.finished(k, "failed", outMetrics)
 	case s.runCtx.Err() != nil:
 		// Draining (or fatal): the shard flushed its checkpoint on the
 		// way out and the job stays journaled non-terminal, so the next
 		// process resumes it exactly here.
-		j.emit("shard_parked", map[string]any{"job": j.id, "shard": k})
+		j.obs.finished(k, "parked", outMetrics)
+		j.emit("shard_parked", sspan.Tag(map[string]any{"job": j.id, "shard": k}))
 	default:
+		j.obs.finished(k, "failed", outMetrics)
 		if err == nil {
 			err = errors.New("shard sweep incomplete without error")
 		}
@@ -712,13 +847,27 @@ func (s *Server) finishLocked(j *job, st State, errText string) {
 	u := s.tenant(j.spec.Tenant)
 	u.jobs--
 	u.trials -= j.trialCost
-	j.emit("job_"+string(st), map[string]any{"job": j.id, "error": errText})
-	s.cfg.Trace.Emit("job_"+string(st), map[string]any{"job": j.id, "tenant": j.spec.Tenant, "error": errText})
+	if u.jobs <= 0 && u.trials <= 0 {
+		// Idle tenants leave no residue; the usage map stays bounded by
+		// the set of tenants with active jobs, not everyone ever seen.
+		delete(s.tenants, j.spec.Tenant)
+	}
+	// Retire the job's merged shard metrics into the server-wide view so
+	// /metrics conserves its trial counters after the job's registries go.
+	if merged, _, merr := j.obs.merged(); merr == nil {
+		if err := s.retired.Merge(merged); err != nil {
+			s.cfg.Metrics.Counter("server.obs_merge_errors").Inc()
+		}
+	} else {
+		s.cfg.Metrics.Counter("server.obs_merge_errors").Inc()
+	}
+	j.emit("job_"+string(st), j.span.Tag(map[string]any{"job": j.id, "error": errText}))
+	s.cfg.Trace.Emit("job_"+string(st), j.span.Tag(map[string]any{"job": j.id, "tenant": j.spec.Tenant, "error": errText}))
 	if j.trace != nil {
 		_ = j.trace.Close()
 	}
 	s.cfg.Metrics.Counter("server.jobs_" + string(st)).Inc()
-	s.cfg.Metrics.Counter("server.tenant." + j.spec.Tenant + ".jobs_" + string(st)).Inc()
+	s.cfg.Metrics.Counter("server.tenant." + s.tlabels.label(j.spec.Tenant) + ".jobs_" + string(st)).Inc()
 	s.updateGaugesLocked()
 }
 

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -326,7 +328,20 @@ func monteCarloCtx(ctx context.Context, trials, workers, unit int, seed uint64,
 				doneTotal.Add(int64(done))
 				wg.Done()
 			}()
-			body(streams[w], n, func() bool { return cctx.Err() != nil }, &hits, &done, wi)
+			run := func() {
+				body(streams[w], n, func() bool { return cctx.Err() != nil }, &hits, &done, wi)
+			}
+			if reg != nil {
+				// With instrumentation on, label the worker for CPU
+				// profiling. Callers that labeled their own goroutine (the
+				// job server labels shards with job/tenant/shard) keep those
+				// labels — pprof.Do appends — so a profile slices engine
+				// batch time per job AND per worker. The bare path skips
+				// this entirely to stay at uninstrumented cost.
+				pprof.Do(cctx, pprof.Labels("sim_worker", strconv.Itoa(w)), func(context.Context) { run() })
+			} else {
+				run()
+			}
 		}(w, n)
 	}
 	wg.Wait()

@@ -183,10 +183,18 @@ type PointResult struct {
 // stay attributable to the exact binary and configuration that produced
 // each point.
 type Checkpoint struct {
-	Digest   string              `json:"digest"`
-	Spec     Spec                `json:"spec"`
-	Done     []PointResult       `json:"done"`
-	SavedAt  time.Time           `json:"saved_at"`
+	Digest  string        `json:"digest"`
+	Spec    Spec          `json:"spec"`
+	Done    []PointResult `json:"done"`
+	SavedAt time.Time     `json:"saved_at"`
+	// Metrics is the telemetry snapshot covering exactly the points in
+	// Done: it is captured at point boundaries only, so counters like
+	// sim.trials conserve exactly against the checkpointed estimates. A
+	// resumed run seeds its own metrics from this baseline, making merged
+	// per-job metrics survive kill-and-restart bit-consistently with
+	// results. The digest covers only Spec, so checkpoints written before
+	// this field existed still resume cleanly.
+	Metrics  *telemetry.Snapshot `json:"metrics,omitempty"`
 	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 }
 
@@ -343,6 +351,15 @@ type Runner struct {
 	// Manifest, when non-nil, is stamped with the spec digest and
 	// embedded in every checkpoint written.
 	Manifest *telemetry.Manifest
+	// Span, when set, tags every trace event with causal span IDs:
+	// sweep-level events carry Span itself, per-point events carry
+	// Span.Child("p<index>"). The zero Span emits no span fields.
+	Span telemetry.Span
+	// OnPoint, when non-nil, is called after every point that enters the
+	// outcome — computed, resumed from checkpoint (resumed=true), or the
+	// trailing partial of an interrupted run (p.Partial). Called from the
+	// sweep goroutine; keep it fast and do not call back into the Runner.
+	OnPoint func(p PointResult, resumed bool)
 
 	// FS is the filesystem all checkpoint I/O goes through; nil uses the
 	// direct OS filesystem. Tests and the -chaos flag install
@@ -390,6 +407,11 @@ type Outcome struct {
 	Done     []PointResult
 	Complete bool
 	Resumed  int // points loaded from the checkpoint instead of computed
+	// Metrics is the point-boundary telemetry snapshot covering exactly
+	// the non-partial points in Done: the resumed baseline (if any) merged
+	// with this run's registry as of the last completed point. Nil when
+	// the Runner had no Metrics registry and no resumed baseline.
+	Metrics *telemetry.Snapshot
 }
 
 // Run executes the sweep under ctx. On cancellation (or a trial panic) it
@@ -407,13 +429,23 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		// same registry as the sweep's own.
 		ctx = telemetry.NewContext(ctx, r.Metrics)
 	}
-	r.Trace.Emit("spec", map[string]any{
+	r.Trace.EmitSpan("spec", r.Span, map[string]any{
 		"experiment": r.Spec.Experiment,
 		"digest":     digest,
 		"points":     r.Spec.Points,
 		"trials":     r.Spec.Trials,
 		"engine":     r.Spec.Engine,
 	})
+	// base is the metrics baseline inherited from a resumed checkpoint: the
+	// snapshot covering exactly the points being resumed. boundary is the
+	// snapshot covering exactly the non-partial points done so far — base
+	// merged with this run's registry, recomputed only at point boundaries
+	// so an interrupted point's in-flight counters never leak into a
+	// checkpoint (they re-run identically by seed after restart). That is
+	// the whole conservation invariant: checkpoint.Metrics always accounts
+	// for checkpoint.Done, nothing more, nothing less.
+	var base telemetry.Snapshot
+	haveBase := false
 	resumed := make(map[int]PointResult)
 	if r.Resume {
 		if r.CheckpointPath == "" {
@@ -431,6 +463,32 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 				resumed[p.Index] = p
 			}
 		}
+		if ck.Metrics != nil {
+			base = ck.Metrics.Clone()
+			haveBase = true
+		}
+	}
+	var boundary *telemetry.Snapshot
+	if haveBase {
+		b := base.Clone()
+		boundary = &b
+	}
+	capture := func() {
+		if r.Metrics == nil && !haveBase {
+			return
+		}
+		s := base.Clone()
+		if r.Metrics != nil {
+			if err := s.Merge(r.Metrics.Snapshot()); err != nil {
+				// Shape drift between baseline and this process should be
+				// impossible (bucket bounds are compile-time constants);
+				// keep the previous boundary rather than corrupt it.
+				r.Metrics.Counter("sweep.metrics_merge_errors").Inc()
+				r.Trace.EmitSpan("metrics_merge_error", r.Span, map[string]any{"error": err.Error()})
+				return
+			}
+		}
+		boundary = &s
 	}
 
 	out := &Outcome{}
@@ -438,7 +496,7 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		if r.CheckpointPath == "" {
 			return nil
 		}
-		ck := &Checkpoint{Digest: digest, Spec: r.Spec, SavedAt: time.Now().UTC(), Manifest: r.Manifest}
+		ck := &Checkpoint{Digest: digest, Spec: r.Spec, SavedAt: time.Now().UTC(), Metrics: boundary, Manifest: r.Manifest}
 		for _, p := range out.Done {
 			if !p.Partial {
 				ck.Done = append(ck.Done, p)
@@ -453,7 +511,7 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 			if r.Metrics != nil {
 				r.Metrics.Counter("sweep.checkpoint_retries").Inc()
 			}
-			r.Trace.Emit("checkpoint_retry", map[string]any{
+			r.Trace.EmitSpan("checkpoint_retry", r.Span, map[string]any{
 				"path": r.CheckpointPath, "attempt": attempt,
 				"error": rerr.Error(), "backoff_seconds": delay.Seconds(),
 			})
@@ -470,7 +528,7 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 			}
 			r.Metrics.Histogram("sweep.checkpoint_seconds", telemetry.LatencyBuckets).Observe(wall)
 		}
-		r.Trace.Emit("checkpoint", map[string]any{
+		r.Trace.EmitSpan("checkpoint", r.Span, map[string]any{
 			"path": r.CheckpointPath, "points": len(ck.Done),
 			"wall_seconds": wall, "ok": err == nil,
 		})
@@ -478,15 +536,19 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 	}
 
 	for pt := 0; pt < r.Spec.Points; pt++ {
+		pspan := r.Span.Child(fmt.Sprintf("p%d", pt))
 		if p, ok := resumed[pt]; ok {
 			out.Done = append(out.Done, p)
 			out.Resumed++
 			r.progressf("point %d/%d: resumed from checkpoint", pt+1, r.Spec.Points)
-			r.Trace.Emit("point_resumed", map[string]any{"point": pt, "trials": estTrials(p.Ests)})
+			r.Trace.EmitSpan("point_resumed", pspan, map[string]any{"point": pt, "trials": estTrials(p.Ests)})
+			if r.OnPoint != nil {
+				r.OnPoint(p, true)
+			}
 			continue
 		}
 		t0 := time.Now()
-		p, err := r.runPoint(ctx, pt)
+		p, err := r.runPoint(ctx, pt, pspan)
 		wall := time.Since(t0).Seconds()
 		if r.Metrics != nil {
 			r.Metrics.Histogram("sweep.point_seconds", telemetry.WallBuckets).Observe(wall)
@@ -494,29 +556,38 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 				r.Metrics.Counter("sweep.points_done").Inc()
 			}
 		}
-		r.Trace.Emit("point_done", map[string]any{
+		r.Trace.EmitSpan("point_done", pspan, map[string]any{
 			"point": pt, "wall_seconds": wall,
 			"trials": estTrials(p.Ests), "successes": estSuccesses(p.Ests),
 			"stopped": p.Stopped, "partial": p.Partial,
 		})
+		if err == nil {
+			capture()
+		}
 		if len(p.Ests) > 0 || err == nil {
 			out.Done = append(out.Done, p)
+			if r.OnPoint != nil {
+				r.OnPoint(p, false)
+			}
 		}
 		if err != nil {
 			r.progressf("point %d/%d: interrupted (%v)", pt+1, r.Spec.Points, err)
 			if serr := save(); serr != nil {
 				err = errors.Join(err, serr)
 			}
-			r.Trace.Emit("sweep_done", map[string]any{"complete": false, "points": len(out.Done), "resumed": out.Resumed})
+			r.Trace.EmitSpan("sweep_done", r.Span, map[string]any{"complete": false, "points": len(out.Done), "resumed": out.Resumed})
+			out.Metrics = boundary
 			return out, err
 		}
 		r.progressf("point %d/%d: done%s", pt+1, r.Spec.Points, stoppedNote(p))
 		if serr := save(); serr != nil {
+			out.Metrics = boundary
 			return out, serr
 		}
 	}
 	out.Complete = true
-	r.Trace.Emit("sweep_done", map[string]any{"complete": true, "points": len(out.Done), "resumed": out.Resumed})
+	r.Trace.EmitSpan("sweep_done", r.Span, map[string]any{"complete": true, "points": len(out.Done), "resumed": out.Resumed})
+	out.Metrics = boundary
 	return out, nil
 }
 
@@ -548,7 +619,7 @@ func stoppedNote(p PointResult) string {
 
 // runPoint computes one point, in a single call when early stopping is
 // off and in geometrically growing chunks when it is on.
-func (r *Runner) runPoint(ctx context.Context, pt int) (PointResult, error) {
+func (r *Runner) runPoint(ctx context.Context, pt int, pspan telemetry.Span) (PointResult, error) {
 	p := PointResult{Index: pt}
 	rule := r.Spec.Stop
 	if !rule.Enabled() {
@@ -577,6 +648,7 @@ func (r *Runner) runPoint(ctx context.Context, pt int) (PointResult, error) {
 		}
 		ests, err := r.Point(ctx, pt, chunk, n)
 		if merged, merr := mergeEsts(p.Ests, ests); merr != nil {
+			p.Partial = true
 			return p, merr
 		} else {
 			p.Ests = merged
@@ -594,7 +666,7 @@ func (r *Runner) runPoint(ctx context.Context, pt int) (PointResult, error) {
 			// Record the Wilson half-width that let the rule fire and which
 			// branch decided it, so every early-stop decision in the trace is
 			// auditable against RelTol.
-			r.Trace.Emit("early_stop", map[string]any{
+			r.Trace.EmitSpan("early_stop", pspan, map[string]any{
 				"point": pt, "trials": ran, "branch": branch,
 				"rel_halfwidth": rule.MaxRelHalfWidth(p.Ests), "reltol": rule.RelTol,
 			})

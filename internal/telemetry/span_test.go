@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanChild(t *testing.T) {
+	root := Root("j-000001")
+	shard := root.Child("s2")
+	point := shard.Child("p5")
+	if shard.ID != "j-000001/s2" || shard.Parent != "j-000001" {
+		t.Errorf("shard span = %+v", shard)
+	}
+	if point.ID != "j-000001/s2/p5" || point.Parent != "j-000001/s2" {
+		t.Errorf("point span = %+v", point)
+	}
+}
+
+func TestZeroSpanPropagates(t *testing.T) {
+	var z Span
+	if !z.Zero() {
+		t.Error("zero Span not Zero()")
+	}
+	c := z.Child("s0").Child("p1")
+	if !c.Zero() {
+		t.Errorf("child of zero span = %+v, want zero", c)
+	}
+	in := map[string]any{"k": 1}
+	out := z.Tag(in)
+	if len(out) != 1 {
+		t.Errorf("zero span Tag added keys: %v", out)
+	}
+}
+
+func TestTagDoesNotMutateInput(t *testing.T) {
+	s := Root("j")
+	in := map[string]any{"k": 1}
+	out := s.Tag(in)
+	if _, ok := in["span"]; ok {
+		t.Error("Tag mutated input map")
+	}
+	if out["span"] != "j" {
+		t.Errorf("out = %v, want span=j", out)
+	}
+	if _, ok := out["parent"]; ok {
+		t.Error("root span must omit parent")
+	}
+}
+
+func TestEmitSpanFields(t *testing.T) {
+	var buf strings.Builder
+	tr, err := NewTrace(&buf, &Manifest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Root("j-000001")
+	tr.EmitSpan("job_accepted", job, map[string]any{"tenant": "t1"})
+	tr.EmitSpan("point_done", job.Child("s0").Child("p3"), nil)
+	tr.EmitSpan("untagged", Span{}, map[string]any{"k": "v"})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d lines, want manifest + 3 events", len(events))
+	}
+	if events[1]["span"] != "j-000001" || events[1]["tenant"] != "t1" {
+		t.Errorf("job event = %v", events[1])
+	}
+	if _, ok := events[1]["parent"]; ok {
+		t.Error("root span event must omit parent")
+	}
+	if events[2]["span"] != "j-000001/s0/p3" || events[2]["parent"] != "j-000001/s0" {
+		t.Errorf("point event = %v", events[2])
+	}
+	if _, ok := events[3]["span"]; ok {
+		t.Errorf("zero-span event gained a span field: %v", events[3])
+	}
+}

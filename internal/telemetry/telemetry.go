@@ -291,29 +291,72 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
-// Merge adds o's observations into s. The bounds must match.
-func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+// MergeError reports a shape mismatch found while merging snapshots: a
+// histogram with different bucket bounds or a counter vector with a
+// different slot count. Merge detects every mismatch before mutating
+// anything, so a returned MergeError guarantees the receiver is unchanged.
+type MergeError struct {
+	Kind   string // "histogram" or "vec"
+	Metric string // metric name, "" when merging a bare HistogramSnapshot
+	Detail string
+}
+
+func (e *MergeError) Error() string {
+	if e.Metric == "" {
+		return fmt.Sprintf("telemetry: merging %s: %s", e.Kind, e.Detail)
+	}
+	return fmt.Sprintf("telemetry: merging %s %q: %s", e.Kind, e.Metric, e.Detail)
+}
+
+// mergeable reports whether o can fold into s, with a description of the
+// mismatch when it cannot. Empty sides are always compatible.
+func (s *HistogramSnapshot) mergeable(o HistogramSnapshot) (bool, string) {
 	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
-		*s = o
-		return nil
+		return true, ""
 	}
 	if len(o.Counts) == 0 {
-		return nil
+		return true, ""
 	}
 	if len(o.Bounds) != len(s.Bounds) {
-		return fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(o.Bounds), len(s.Bounds))
+		return false, fmt.Sprintf("%d vs %d bounds", len(o.Bounds), len(s.Bounds))
 	}
 	for i, b := range o.Bounds {
 		if b != s.Bounds[i] {
-			return fmt.Errorf("telemetry: merging histograms with different bounds (%g vs %g)", b, s.Bounds[i])
+			return false, fmt.Sprintf("different bounds (%g vs %g)", b, s.Bounds[i])
 		}
+	}
+	return true, ""
+}
+
+// Merge adds o's observations into s. The bounds must match; on mismatch it
+// returns a *MergeError and leaves s unchanged. Merging into an empty
+// snapshot copies o (fresh slices, so s does not alias o's storage).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	ok, detail := s.mergeable(o)
+	if !ok {
+		return &MergeError{Kind: "histogram", Detail: detail}
+	}
+	s.mergeInto(o)
+	return nil
+}
+
+// mergeInto applies a merge already validated by mergeable.
+func (s *HistogramSnapshot) mergeInto(o HistogramSnapshot) {
+	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
+		s.Bounds = append([]float64(nil), o.Bounds...)
+		s.Counts = append([]int64(nil), o.Counts...)
+		s.Count = o.Count
+		s.Sum = o.Sum
+		return
+	}
+	if len(o.Counts) == 0 {
+		return
 	}
 	for i := range o.Counts {
 		s.Counts[i] += o.Counts[i]
 	}
 	s.Count += o.Count
 	s.Sum += o.Sum
-	return nil
 }
 
 // VecSnapshot is the frozen state of a CounterVec.
@@ -366,9 +409,24 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // Merge folds o into s: counters, histogram buckets, and vec slots add;
-// gauges take o's value when present. Histogram or vec shape mismatches
-// return an error (s keeps the entries merged so far).
+// gauges take o's value when present. Merge is two-phase: every histogram
+// bound set and vec shape is validated first, so a shape mismatch returns a
+// *MergeError with s completely unchanged — no partial mutation.
 func (s *Snapshot) Merge(o Snapshot) error {
+	// Phase 1: validate every mergeable pair before touching s.
+	for name, oh := range o.Histograms {
+		h := s.Histograms[name]
+		if ok, detail := h.mergeable(oh); !ok {
+			return &MergeError{Kind: "histogram", Metric: name, Detail: detail}
+		}
+	}
+	for name, ov := range o.Vecs {
+		v, ok := s.Vecs[name]
+		if ok && len(v.Counts) != len(ov.Counts) {
+			return &MergeError{Kind: "vec", Metric: name, Detail: fmt.Sprintf("%d vs %d slots", len(ov.Counts), len(v.Counts))}
+		}
+	}
+	// Phase 2: apply.
 	if s.Counters == nil {
 		s.Counters = make(map[string]int64)
 	}
@@ -389,9 +447,7 @@ func (s *Snapshot) Merge(o Snapshot) error {
 	}
 	for name, oh := range o.Histograms {
 		h := s.Histograms[name]
-		if err := h.Merge(oh); err != nil {
-			return fmt.Errorf("%w (histogram %q)", err, name)
-		}
+		h.mergeInto(oh)
 		s.Histograms[name] = h
 	}
 	for name, ov := range o.Vecs {
@@ -399,9 +455,6 @@ func (s *Snapshot) Merge(o Snapshot) error {
 		if !ok {
 			s.Vecs[name] = VecSnapshot{Labels: append([]string(nil), ov.Labels...), Counts: append([]int64(nil), ov.Counts...)}
 			continue
-		}
-		if len(v.Counts) != len(ov.Counts) {
-			return fmt.Errorf("telemetry: merging vec %q with %d vs %d slots", name, len(ov.Counts), len(v.Counts))
 		}
 		for i := range ov.Counts {
 			v.Counts[i] += ov.Counts[i]
@@ -412,15 +465,61 @@ func (s *Snapshot) Merge(o Snapshot) error {
 	return nil
 }
 
-// WriteMetrics renders the registry in the plain text /metrics format: one
+// Clone returns a deep copy of s: mutating the clone (e.g. merging live
+// shard deltas into a persisted baseline) never touches the original.
+func (s Snapshot) Clone() Snapshot {
+	c := Snapshot{UptimeSeconds: s.UptimeSeconds}
+	if s.Counters != nil {
+		c.Counters = make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			c.Counters[k] = v
+		}
+	}
+	if s.Gauges != nil {
+		c.Gauges = make(map[string]float64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			c.Gauges[k] = v
+		}
+	}
+	if s.Histograms != nil {
+		c.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for k, h := range s.Histograms {
+			c.Histograms[k] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.Bounds...),
+				Counts: append([]int64(nil), h.Counts...),
+				Count:  h.Count,
+				Sum:    h.Sum,
+			}
+		}
+	}
+	if s.Vecs != nil {
+		c.Vecs = make(map[string]VecSnapshot, len(s.Vecs))
+		for k, v := range s.Vecs {
+			c.Vecs[k] = VecSnapshot{
+				Labels: append([]string(nil), v.Labels...),
+				Counts: append([]int64(nil), v.Counts...),
+			}
+		}
+	}
+	return c
+}
+
+// WriteMetrics renders the registry in the plain text /metrics format; see
+// Snapshot.WriteText for the line grammar. Safe on a nil registry (writes
+// only the header).
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText renders the snapshot in the plain text /metrics format: one
 // `name value` line per counter and gauge, `name.count`, `name.sum` and
 // cumulative `name.le.<bound>` lines per histogram, and
 // `name{op="label"} value` lines for the non-zero slots of each counter
 // vector, all sorted by name. Derived values (lanes.utilization) are
-// appended when their inputs exist. Safe on a nil registry (writes only
-// the header).
-func (r *Registry) WriteMetrics(w io.Writer) error {
-	s := r.Snapshot()
+// appended when their inputs exist. The same renderer serves the process
+// /metrics endpoint and merged per-job snapshots, so both expositions stay
+// line-for-line comparable.
+func (s Snapshot) WriteText(w io.Writer) error {
 	var lines []string
 	add := func(format string, args ...any) {
 		lines = append(lines, fmt.Sprintf(format, args...))
