@@ -28,6 +28,13 @@
 // The sweep experiments (recovery, levels, local, adder) also run on a
 // resilient runtime with these flags:
 //
+//	-cache dir            content-addressed result cache: a sweep whose
+//	                      exact spec was completed before (here or by the
+//	                      job server) is served from the cache with zero
+//	                      trials run; fresh completions are stored for
+//	                      next time. Entries are hash-verified on read —
+//	                      a tampered or torn entry is a miss, never a
+//	                      wrong table (audit with revft-verify -cache)
 //	-checkpoint ck.json   rewrite an atomic JSON checkpoint after every
 //	                      completed sweep point
 //	-resume               load -checkpoint and skip its completed points;
@@ -99,6 +106,7 @@ import (
 
 	"revft/internal/chaos"
 	"revft/internal/exp"
+	"revft/internal/resultcache"
 	"revft/internal/stats"
 	"revft/internal/telemetry"
 )
@@ -137,6 +145,7 @@ func run(args []string) error {
 		bits     = fs.Int("bits", 4, "adder width (adder experiment)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 
+		cacheDir   = fs.String("cache", "", "content-addressed result cache directory for the sweep experiments: serve an already-computed sweep from the cache and store fresh completions into it")
 		checkpoint = fs.String("checkpoint", "", "checkpoint file for the sweep experiments (rewritten after every completed point)")
 		resume     = fs.Bool("resume", false, "resume from -checkpoint, skipping completed points")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the sweep experiments (0 = none)")
@@ -196,6 +205,7 @@ func run(args []string) error {
 	}
 	if !sweepExp {
 		for name, set := range map[string]bool{
+			"-cache":      *cacheDir != "",
 			"-checkpoint": *checkpoint != "",
 			"-resume":     *resume,
 			"-timeout":    *timeout != 0,
@@ -249,6 +259,9 @@ func run(args []string) error {
 			}
 			man.Chaos = spec
 		}
+		if *cacheDir != "" {
+			man.Cache = &telemetry.CacheSpec{Dir: *cacheDir}
+		}
 		if n := expectedTrials(*expName, *trials, *points, *maxLevel); n > 0 {
 			reg.Gauge(telemetry.ExpectedTrialsMetric).Set(float64(n))
 		}
@@ -289,7 +302,15 @@ func run(args []string) error {
 			ctx, tcancel = context.WithTimeout(ctx, *timeout)
 			defer tcancel()
 		}
+		var cache *resultcache.Store
+		if *cacheDir != "" {
+			// The cache shares the run's (possibly chaotic) filesystem:
+			// entries are atomic and hash-verified on read, so injected
+			// faults cost at most a miss, never a wrong table.
+			cache = &resultcache.Store{Dir: *cacheDir, FS: fsys, Metrics: reg, Trace: tr}
+		}
 		o := exp.SweepOptions{
+			Cache:      cache,
 			Checkpoint: *checkpoint,
 			Resume:     *resume,
 			RelTol:     *reltol,

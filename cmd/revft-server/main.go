@@ -34,6 +34,15 @@
 // like revft-mc -chaos); the journal always writes through the clean OS
 // filesystem because journal appends are deliberately not retried — a
 // torn retried line would read as mid-file corruption on replay.
+//
+// -cache points the server at a content-addressed result cache (default
+// "auto" = <data>/cache; "off" disables). A resubmitted spec whose result
+// is already stored is served at submission time — journaled
+// submitted+done with a byte-identical result.json and zero Monte Carlo —
+// and a spec whose ε-grid is a subset of a cached same-family entry
+// grafts the cached points and computes only the remainder. Entries are
+// hash-verified on read; a tampered or torn entry is a typed miss, never
+// a wrong answer. Audit a cache offline with revft-verify -cache <dir>.
 package main
 
 import (
@@ -45,12 +54,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"revft/internal/chaos"
 	"revft/internal/exp"
+	"revft/internal/resultcache"
 	"revft/internal/server"
 	"revft/internal/sweep"
 	"revft/internal/telemetry"
@@ -92,6 +103,7 @@ func run(args []string) error {
 		maxActive    = fs.Int("max-active", 64, "bound on admitted-but-unfinished jobs across all tenants")
 		tenantJobs   = fs.Int("tenant-jobs", 8, "per-tenant concurrent active job quota (0 = unlimited)")
 		tenantTrials = fs.Int64("tenant-trials", 0, "per-tenant in-flight trial budget, points x trials summed over active jobs (0 = unlimited)")
+		cacheDir     = fs.String("cache", "auto", `content-addressed result cache directory: "auto" = <data>/cache, "off" = disabled`)
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "bound on the SIGTERM graceful drain")
 		debugAddr    = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this host:port while the server runs")
 		chaosRate    = fs.Float64("chaos", 0, "fault-injection probability per checkpoint/result write operation, in [0,1)")
@@ -116,6 +128,18 @@ func run(args []string) error {
 	reg := telemetry.New()
 	telemetry.SetDefault(reg)
 
+	// The result cache writes through the same (possibly chaotic)
+	// filesystem as checkpoints and results: entries are atomic and
+	// hash-verified on read, so injected faults cost at most a miss.
+	var cache *resultcache.Store
+	switch *cacheDir {
+	case "off":
+	case "auto":
+		cache = &resultcache.Store{Dir: filepath.Join(*data, "cache"), FS: fsys, Metrics: reg}
+	default:
+		cache = &resultcache.Store{Dir: *cacheDir, FS: fsys, Metrics: reg}
+	}
+
 	workers := *pool
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -130,6 +154,7 @@ func run(args []string) error {
 		FS:                 fsys,
 		JournalFS:          chaos.OS,
 		Metrics:            reg,
+		Cache:              cache,
 		Logf:               log.Printf,
 	})
 	if err != nil {

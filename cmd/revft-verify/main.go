@@ -29,7 +29,15 @@
 //	               per check, one per (ε, engine) differential verdict, and
 //	               a closing summary
 //
-// Exit status is nonzero if any check fails.
+// A third mode audits a result cache instead of running the suite:
+//
+//	-cache dir     re-hash every entry of the content-addressed result
+//	               cache at dir (as written by revft-server and revft-mc
+//	               -cache) and print a PASS/FAIL line per entry; tampered,
+//	               truncated, or misfiled entries are reported with their
+//	               recorded and recomputed digests
+//
+// Exit status is nonzero if any check fails or any cache entry is corrupt.
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"revft/internal/irrev"
 	"revft/internal/lattice"
 	"revft/internal/noise"
+	"revft/internal/resultcache"
 	"revft/internal/sim"
 	"revft/internal/synth"
 	"revft/internal/telemetry"
@@ -78,6 +87,7 @@ func run(args []string) error {
 		workers      = fs.Int("workers", 0, "parallel workers for the differential runs (0 = GOMAXPROCS)")
 		seed         = fs.Uint64("seed", 7, "base random seed for the differential runs")
 		traceFile    = fs.String("trace", "", "write a JSONL event trace (manifest, per-check and per-verdict events) to this file")
+		cacheAudit   = fs.String("cache", "", "audit the content-addressed result cache at this directory (re-hash every entry) instead of running the verification suite")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +119,10 @@ func run(args []string) error {
 			}
 		}()
 		tr = ft.Trace
+	}
+
+	if *cacheAudit != "" {
+		return auditCache(*cacheAudit, tr)
 	}
 
 	cs := checks()
@@ -149,6 +163,41 @@ func run(args []string) error {
 		return fmt.Errorf("%d check(s) failed", failed)
 	}
 	fmt.Println("\nall checks passed")
+	return nil
+}
+
+// auditCache re-hashes every entry of the result cache at dir and prints
+// one PASS/FAIL line per entry — the offline counterpart of the server's
+// per-read verification. The walk itself failing (unreadable directory)
+// is an error; corrupt entries are reported and counted, and any makes
+// the exit status nonzero.
+func auditCache(dir string, tr *telemetry.Trace) error {
+	rep, err := (&resultcache.Store{Dir: dir}).Audit()
+	if err != nil {
+		return fmt.Errorf("cache audit: %w", err)
+	}
+	for _, e := range rep.Entries {
+		if tr != nil {
+			fields := map[string]any{"path": e.Path, "digest": e.SpecDigest, "ok": e.OK}
+			if !e.OK {
+				fields["reason"] = e.Reason
+				fields["error"] = e.Error
+			}
+			tr.Emit("cache_entry", fields)
+		}
+		if e.OK {
+			fmt.Printf("PASS  cache entry %.12s  %s (%d bytes)\n", e.SpecDigest, e.Experiment, e.Size)
+		} else {
+			fmt.Printf("FAIL  cache entry %.12s  [%s] %v\n", e.SpecDigest, e.Reason, e.Error)
+		}
+	}
+	if tr != nil {
+		tr.Emit("run_done", map[string]any{"ok": rep.Corrupt == 0, "entries": len(rep.Entries), "corrupt": rep.Corrupt})
+	}
+	if rep.Corrupt > 0 {
+		return fmt.Errorf("cache %s: %d of %d entries corrupt", dir, rep.Corrupt, rep.OK+rep.Corrupt)
+	}
+	fmt.Printf("\ncache %s: all %d entries verified\n", dir, rep.OK)
 	return nil
 }
 

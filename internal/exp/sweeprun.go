@@ -8,8 +8,10 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"revft/internal/adder"
@@ -18,6 +20,7 @@ import (
 	"revft/internal/gate"
 	"revft/internal/lattice"
 	"revft/internal/noise"
+	"revft/internal/resultcache"
 	"revft/internal/sim"
 	"revft/internal/stats"
 	"revft/internal/sweep"
@@ -66,6 +69,13 @@ type SweepOptions struct {
 	// events carry it and each point's events a per-point child, so one
 	// trace file holding several sweeps reconstructs into causal trees.
 	Span telemetry.Span
+	// Cache, when non-nil, is a content-addressed result cache consulted
+	// before running: an entry stored under this sweep's spec digest is
+	// decoded and returned without any Monte Carlo, and a sweep that runs
+	// to completion is stored back for the next identical invocation. A
+	// corrupt entry is treated as a miss (and left for revft-verify
+	// -cache to report), never served.
+	Cache *resultcache.Store
 }
 
 func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner {
@@ -82,6 +92,45 @@ func (o SweepOptions) runner(spec sweep.Spec, fn sweep.PointFunc) *sweep.Runner 
 		Retry:          o.Retry,
 		Span:           o.Span,
 	}
+}
+
+// runCached executes the sweep with the cache (if any) in front: a hit
+// decodes the stored entry and returns a complete outcome with zero
+// Monte Carlo; a miss runs the sweep and stores the completed outcome
+// for the next identical invocation. The payload is the familiar
+// checkpoint JSON (digest + spec + done points + producing manifest), so
+// a cache entry is self-describing and inspectable with the same tools
+// as a checkpoint. Only complete outcomes are stored — partial sweeps
+// keep flowing through the checkpoint/resume path.
+func (o SweepOptions) runCached(ctx context.Context, spec sweep.Spec, fn sweep.PointFunc) (*sweep.Outcome, error) {
+	if o.Cache == nil {
+		return o.runner(spec, fn).Run(ctx)
+	}
+	digest := spec.Digest()
+	if payload, _, err := o.Cache.Get(digest, o.Span); err == nil {
+		var ck sweep.Checkpoint
+		if jerr := json.Unmarshal(payload, &ck); jerr == nil && ck.Digest == digest && len(ck.Done) == spec.Points {
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress, "cache hit: %d points served from entry %.12s\n", len(ck.Done), digest)
+			}
+			return &sweep.Outcome{Done: ck.Done, Complete: true, Resumed: len(ck.Done)}, nil
+		}
+	}
+	out, err := o.runner(spec, fn).Run(ctx)
+	if err == nil && out != nil && out.Complete {
+		ck := sweep.Checkpoint{Digest: digest, Spec: spec, Done: out.Done, Manifest: o.Manifest}
+		if payload, merr := json.Marshal(&ck); merr == nil {
+			tool := ""
+			if o.Manifest != nil {
+				tool = o.Manifest.Tool
+			}
+			meta := resultcache.Meta{Experiment: spec.Experiment, Tool: tool}
+			if perr := o.Cache.Put(ctx, digest, meta, payload, o.Span); perr != nil && o.Progress != nil {
+				fmt.Fprintf(o.Progress, "cache store failed (result unaffected): %v\n", perr)
+			}
+		}
+	}
+	return out, err
 }
 
 // recordGateCounts publishes a driver's measured gate counts as gauges
@@ -197,11 +246,52 @@ func noteAdaptive(t *Table, out *sweep.Outcome, o SweepOptions) {
 	t.AddNote("adaptive early stopping: reltol %g, trials per point: %s", o.RelTol, strings.Join(ts, ", "))
 }
 
+// mix64 is the SplitMix64 finalizer: a full-avalanche scrambler that
+// turns structured nearby inputs (consecutive salts, close float bit
+// patterns) into well-separated generator states.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Salt domains keep pointSeed streams disjoint across drivers that could
+// otherwise estimate at the same (seed, ε): each driver's estimates get
+// a distinct high byte, with the low bits distinguishing co-located
+// estimates (concatenation level, 2D-vs-1D cycle, bare-vs-FT adder).
+const (
+	saltRecovery = 0 << 8
+	saltLevels   = 1 << 8 // + level
+	saltLocal    = 2 << 8 // +0 cycle2d, +1 cycle1d
+	saltAdder    = 3 << 8 // +0 bare, +1 FT
+)
+
+// pointSeed derives the base RNG seed for one estimate of one sweep
+// point from the run seed, the point's swept noise value ε, and a salt
+// naming the estimate within the point. Deriving from the ε *value*
+// rather than the point's grid index makes every estimate independent of
+// how the grid is laid out: the same (seed, ε, salt) reproduces the same
+// trial stream whether ε sits at index 0 of a 2-point grid or index 17
+// of a 50-point one. That value-addressing preserves the shard-vs-
+// unsharded equality the job server relies on (any partition of the
+// points computes identical estimates) and is what lets the result cache
+// serve a cached superset ε-grid for a subset spec bit-identically.
+func pointSeed(base uint64, eps float64, salt uint64) uint64 {
+	h := mix64(base ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ math.Float64bits(eps))
+	h = mix64(h ^ salt)
+	return h
+}
+
 // recoveryPointFunc builds the recovery sweep's per-point estimator over
 // global point indices, plus its gate-count record. The seed derivation
-// depends only on (p.Seed, pt, chunk), so any partition of the points —
-// one runner, or shards of a job server — produces bit-identical
-// estimates.
+// depends only on (p.Seed, gs[pt], chunk) — never on pt itself — so any
+// partition or re-indexing of the points (one runner, shards of a job
+// server, a subset grid served from the result cache) produces
+// bit-identical estimates.
 func recoveryPointFunc(gs []float64, p MCParams) (sweep.PointFunc, map[string]int) {
 	gad := core.NewGadget(gate.MAJ, 1)
 	counts := map[string]int{
@@ -209,7 +299,7 @@ func recoveryPointFunc(gs []float64, p MCParams) (sweep.PointFunc, map[string]in
 		"G_analytic":   threshold.GNonLocalInit,
 	}
 	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
-		seed := sweep.ChunkSeed(p.Seed+uint64(pt), chunk)
+		seed := sweep.ChunkSeed(pointSeed(p.Seed, gs[pt], saltRecovery), chunk)
 		res, rerr := gadgetRateCtx(ctx, gad, noise.Uniform(gs[pt]), p, trials, seed)
 		return []stats.Bernoulli{res.Bernoulli}, rerr
 	}, counts
@@ -223,7 +313,7 @@ func RecoveryCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) 
 	fn, counts := recoveryPointFunc(gs, p)
 	o.recordGateCounts("recovery", counts)
 	spec := sweepSpec("recovery", gs, len(gs), p, o, "")
-	out, err := o.runner(spec, fn).Run(ctx)
+	out, err := o.runCached(ctx, spec, fn)
 	if out == nil {
 		return nil, err
 	}
@@ -260,7 +350,7 @@ func levelsPointFunc(gs []float64, maxLevel int, p MCParams) (sweep.PointFunc, m
 	}
 	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		l, i := pt/len(gs), pt%len(gs)
-		seed := sweep.ChunkSeed(p.Seed+uint64(1000*l+i), chunk)
+		seed := sweep.ChunkSeed(pointSeed(p.Seed, gs[i], saltLevels+uint64(l)), chunk)
 		res, rerr := gadgetRateCtx(ctx, gads[l], noise.Uniform(gs[i]), p, trials, seed)
 		return []stats.Bernoulli{res.Bernoulli}, rerr
 	}, counts
@@ -272,7 +362,7 @@ func LevelsCtx(ctx context.Context, gs []float64, maxLevel int, p MCParams, o Sw
 	fn, counts := levelsPointFunc(gs, maxLevel, p)
 	o.recordGateCounts("levels", counts)
 	spec := sweepSpec("levels", gs, (maxLevel+1)*len(gs), p, o, fmt.Sprintf("maxlevel=%d", maxLevel))
-	out, err := o.runner(spec, fn).Run(ctx)
+	out, err := o.runCached(ctx, spec, fn)
 	if out == nil {
 		return nil, err
 	}
@@ -311,11 +401,11 @@ func localPointFunc(gs []float64, p MCParams) (sweep.PointFunc, map[string]int) 
 	}
 	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		m := noise.Uniform(gs[pt])
-		e2, rerr := cycleRateCtx(ctx, "cycle2d", c2, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk))
+		e2, rerr := cycleRateCtx(ctx, "cycle2d", c2, m, p, trials, sweep.ChunkSeed(pointSeed(p.Seed, gs[pt], saltLocal), chunk))
 		if rerr != nil {
 			return []stats.Bernoulli{e2.Bernoulli, {}}, rerr
 		}
-		e1, rerr := cycleRateCtx(ctx, "cycle1d", c1, m, p, trials, sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk))
+		e1, rerr := cycleRateCtx(ctx, "cycle1d", c1, m, p, trials, sweep.ChunkSeed(pointSeed(p.Seed, gs[pt], saltLocal+1), chunk))
 		return []stats.Bernoulli{e2.Bernoulli, e1.Bernoulli}, rerr
 	}, counts
 }
@@ -326,7 +416,7 @@ func LocalCtx(ctx context.Context, gs []float64, p MCParams, o SweepOptions) (*T
 	fn, counts := localPointFunc(gs, p)
 	o.recordGateCounts("local", counts)
 	spec := sweepSpec("local", gs, len(gs), p, o, "")
-	out, err := o.runner(spec, fn).Run(ctx)
+	out, err := o.runCached(ctx, spec, fn)
 	if out == nil {
 		return nil, err
 	}
@@ -371,8 +461,8 @@ func adderPointFunc(n int, gs []float64, p MCParams) (sweep.PointFunc, map[strin
 	}
 	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
 		nm := noise.Uniform(gs[pt])
-		sb := sweep.ChunkSeed(p.Seed+uint64(2*pt), chunk)
-		sf := sweep.ChunkSeed(p.Seed+uint64(2*pt+1), chunk)
+		sb := sweep.ChunkSeed(pointSeed(p.Seed, gs[pt], saltAdder), chunk)
+		sf := sweep.ChunkSeed(pointSeed(p.Seed, gs[pt], saltAdder+1), chunk)
 		var bare, ft sim.Result
 		var rerr error
 		switch {
@@ -404,7 +494,7 @@ func AdderModuleCtx(ctx context.Context, n int, gs []float64, p MCParams, o Swee
 	fn, counts := adderPointFunc(n, gs, p)
 	o.recordGateCounts("adder", counts)
 	spec := sweepSpec("adder", gs, len(gs), p, o, fmt.Sprintf("bits=%d", n))
-	out, err := o.runner(spec, fn).Run(ctx)
+	out, err := o.runCached(ctx, spec, fn)
 	if out == nil {
 		return nil, err
 	}

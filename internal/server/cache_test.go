@@ -1,0 +1,332 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"revft/internal/resultcache"
+	"revft/internal/rng"
+	"revft/internal/stats"
+	"revft/internal/sweep"
+	"revft/internal/telemetry"
+)
+
+// valueDriver is a deterministic test experiment honouring the contract
+// near-miss reuse depends on: an estimate derives from the swept ε value
+// (and the spec seed and chunk), never from its grid index, so a point
+// computed on a superset grid is bit-identical to the same ε computed on
+// a subset grid. This mirrors exp's value-derived point seeding.
+func valueDriver(spec JobSpec, grid []float64) (sweep.PointFunc, int, error) {
+	seed := spec.Seed
+	return func(ctx context.Context, pt, chunk, trials int) ([]stats.Bernoulli, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		eps := grid[pt%len(grid)]
+		r := rng.New(sweep.ChunkSeed(seed^math.Float64bits(eps), chunk))
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bool(eps) {
+				hits++
+			}
+		}
+		return []stats.Bernoulli{{Trials: trials, Successes: hits}}, nil
+	}, len(grid), nil
+}
+
+func newCacheServer(t *testing.T, cache *resultcache.Store, reg *telemetry.Registry) *Server {
+	t.Helper()
+	return newTestServer(t, func(c *Config) {
+		c.Drivers = map[string]Driver{"value": valueDriver}
+		c.Cache = cache
+		c.Metrics = reg
+	})
+}
+
+func cacheSpec() JobSpec {
+	return JobSpec{
+		Experiment: "value", GMin: 1e-3, GMax: 1e-2,
+		Points: 3, Trials: 500, Seed: 11, Shards: 2,
+	}
+}
+
+func runToResult(t *testing.T, s *Server, spec JobSpec) (JobStatus, []byte) {
+	t.Helper()
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s state = %s (error %q)", st.ID, st.State, st.Error)
+	}
+	data, err := s.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, data
+}
+
+func TestCacheExactHit(t *testing.T) {
+	reg := telemetry.New()
+	cache := &resultcache.Store{Dir: t.TempDir(), Metrics: reg}
+	s := newCacheServer(t, cache, reg)
+	spec := cacheSpec()
+
+	st1, data1 := runToResult(t, s, spec)
+	if st1.Cache != CacheMiss {
+		t.Fatalf("first submission cache = %q, want %q", st1.Cache, CacheMiss)
+	}
+
+	// The identical spec again: served done at submission, byte-identical,
+	// with no Monte Carlo run (jobs_done counts only computed jobs).
+	st2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cache != CacheHit || st2.State != StateDone {
+		t.Fatalf("resubmit status = %+v, want cache hit and done", st2)
+	}
+	if st2.ID == st1.ID {
+		t.Fatalf("hit job reused the original job ID %s", st1.ID)
+	}
+	data2, err := s.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatalf("cache hit result differs from computed result:\n%s\nvs\n%s", data1, data2)
+	}
+	if n := reg.Counter("server.cache_hits").Load(); n != 1 {
+		t.Fatalf("server.cache_hits = %d, want 1", n)
+	}
+	if n := reg.Counter("server.jobs_done").Load(); n != 1 {
+		t.Fatalf("server.jobs_done = %d, want 1 (the hit must not recompute)", n)
+	}
+}
+
+func TestCacheTamperedEntryIsMissAndRecomputes(t *testing.T) {
+	reg := telemetry.New()
+	dir := t.TempDir()
+	cache := &resultcache.Store{Dir: dir, Metrics: reg}
+	s := newCacheServer(t, cache, reg)
+	spec := cacheSpec()
+
+	_, data1 := runToResult(t, s, spec)
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*", "*"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly 1", entries, err)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x01
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, data2 := runToResult(t, s, spec)
+	if st2.Cache != CacheMiss {
+		t.Fatalf("tampered-entry submission cache = %q, want %q", st2.Cache, CacheMiss)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("recomputed result differs from the original")
+	}
+	if n := reg.Counter("cache.corrupt").Load(); n < 1 {
+		t.Fatalf("cache.corrupt = %d, want >= 1", n)
+	}
+	// The recompute overwrote the tampered entry; the next submission is
+	// a clean hit again.
+	st3, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cache != CacheHit {
+		t.Fatalf("post-recompute submission cache = %q, want %q", st3.Cache, CacheHit)
+	}
+}
+
+func TestCacheNearMissSubsetGrid(t *testing.T) {
+	reg := telemetry.New()
+	cache := &resultcache.Store{Dir: t.TempDir(), Metrics: reg}
+	s := newCacheServer(t, cache, reg)
+
+	// Cache the 3-point superset grid, then ask for the 2-point subset
+	// sharing its endpoints: every requested ε is covered, so the job is
+	// assembled entirely from cached points and served as a hit.
+	super := cacheSpec()
+	_, _ = runToResult(t, s, super)
+
+	sub := super
+	sub.Points = 2
+	sub.Shards = 1
+	st, data := runToResult(t, s, sub)
+	if st.Cache != CacheHit || st.ReusedPoints != 2 {
+		t.Fatalf("subset status = %+v, want cache hit with 2 reused points", st)
+	}
+	if n := reg.Counter("server.jobs_done").Load(); n != 1 {
+		t.Fatalf("server.jobs_done = %d, want 1 (subset must not recompute)", n)
+	}
+
+	// The assembled result must be byte-identical to computing the subset
+	// spec from scratch on a cache-less server.
+	plain := newTestServer(t, func(c *Config) {
+		c.Drivers = map[string]Driver{"value": valueDriver}
+	})
+	_, want := runToResult(t, plain, sub)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("assembled subset result differs from direct computation:\n%s\nvs\n%s", data, want)
+	}
+}
+
+func TestCacheNearMissPartialOverlap(t *testing.T) {
+	reg := telemetry.New()
+	cache := &resultcache.Store{Dir: t.TempDir(), Metrics: reg}
+	s := newCacheServer(t, cache, reg)
+
+	super := cacheSpec()
+	_, _ = runToResult(t, s, super)
+
+	// {1e-2, 1e-1}: 1e-2 is a cached endpoint, 1e-1 is new — one point
+	// grafted, one computed, merged back into requested grid order.
+	part := super
+	part.GMin, part.GMax, part.Points = 1e-2, 1e-1, 2
+	st, data := runToResult(t, s, part)
+	if st.Cache != CacheMiss || st.ReusedPoints != 1 || st.Points != 1 {
+		t.Fatalf("partial-overlap status = %+v, want miss with 1 reused + 1 computed point", st)
+	}
+	if n := reg.Counter("server.cache_near_hits").Load(); n != 1 {
+		t.Fatalf("server.cache_near_hits = %d, want 1", n)
+	}
+
+	plain := newTestServer(t, func(c *Config) {
+		c.Drivers = map[string]Driver{"value": valueDriver}
+	})
+	_, want := runToResult(t, plain, part)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("grafted result differs from direct computation:\n%s\nvs\n%s", data, want)
+	}
+}
+
+func TestCacheNonOverlappingGridIsCleanMiss(t *testing.T) {
+	reg := telemetry.New()
+	cache := &resultcache.Store{Dir: t.TempDir(), Metrics: reg}
+	s := newCacheServer(t, cache, reg)
+
+	_, _ = runToResult(t, s, cacheSpec())
+
+	other := cacheSpec()
+	other.GMin, other.GMax = 3e-3, 3e-2 // same family, zero shared ε values
+	st, _ := runToResult(t, s, other)
+	if st.Cache != CacheMiss || st.ReusedPoints != 0 {
+		t.Fatalf("disjoint-grid status = %+v, want clean miss with no reuse", st)
+	}
+	if n := reg.Counter("server.cache_near_hits").Load(); n != 0 {
+		t.Fatalf("server.cache_near_hits = %d, want 0", n)
+	}
+}
+
+func TestCacheNoCacheBypass(t *testing.T) {
+	reg := telemetry.New()
+	cache := &resultcache.Store{Dir: t.TempDir(), Metrics: reg}
+	s := newCacheServer(t, cache, reg)
+
+	spec := cacheSpec()
+	spec.NoCache = true
+	st1, data1 := runToResult(t, s, spec)
+	if st1.Cache != CacheBypass {
+		t.Fatalf("nocache submission cache = %q, want %q", st1.Cache, CacheBypass)
+	}
+	if metas, err := cache.List(); err != nil || len(metas) != 0 {
+		t.Fatalf("cache entries after nocache job = %v (err %v), want none", metas, err)
+	}
+	st2, data2 := runToResult(t, s, spec)
+	if st2.Cache != CacheBypass {
+		t.Fatalf("second nocache submission cache = %q, want %q", st2.Cache, CacheBypass)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("nocache recompute is not deterministic")
+	}
+	if n := reg.Counter("server.cache_hits").Load(); n != 0 {
+		t.Fatalf("server.cache_hits = %d, want 0", n)
+	}
+}
+
+// TestReplayReusedRecord hand-writes a journal holding a submitted job
+// plus its reuse plan — the crash footprint of a near-miss job killed
+// mid-run — and starts a cache-less server on it. Replay must rebuild the
+// remainder grid from the journal alone, compute only that, and merge a
+// full-grid result byte-identical to a from-scratch run.
+func TestReplayReusedRecord(t *testing.T) {
+	spec := cacheSpec()
+	spec.GMin, spec.GMax, spec.Points, spec.Shards = 1e-2, 1e-1, 2, 1
+	spec.normalize()
+	grid := spec.Grid()
+
+	// Borrow the grafted point's estimates from a real computed result so
+	// the journaled plan holds exactly what a near-miss would have lifted.
+	donorSrv := newTestServer(t, func(c *Config) {
+		c.Drivers = map[string]Driver{"value": valueDriver}
+	})
+	donor := spec
+	donor.GMin, donor.GMax, donor.Points = 1e-2, 1e-2, 1
+	_, donorData := runToResult(t, donorSrv, donor)
+	var donorRes Result
+	if err := json.Unmarshal(donorData, &donorRes); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	id := fmt.Sprintf("j%06d-%.8s", 1, spec.Digest())
+	plan := &reusePlan{
+		Source:    "0000000000000000000000000000000000000000000000000000000000000000",
+		Remainder: []float64{grid[1]},
+		Points:    []reusePoint{{Index: 0, Ests: donorRes.Points[0].Ests, Stopped: donorRes.Points[0].Stopped}},
+	}
+	var journal bytes.Buffer
+	for seq, rec := range []Record{
+		{Type: recSubmitted, Job: id, At: time.Now().UTC(), Spec: &spec},
+		{Type: recReused, Job: id, At: time.Now().UTC(), Reuse: plan},
+	} {
+		rec.Seq = int64(seq + 1)
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journal.Write(line)
+		journal.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), journal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, func(c *Config) {
+		c.DataDir = dir
+		c.Drivers = map[string]Driver{"value": valueDriver}
+	})
+	st := waitDone(t, s, id)
+	if st.State != StateDone || st.ReusedPoints != 1 || st.Points != 1 {
+		t.Fatalf("replayed status = %+v, want done with 1 reused + 1 computed point", st)
+	}
+	data, err := s.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := newTestServer(t, func(c *Config) {
+		c.Drivers = map[string]Driver{"value": valueDriver}
+	})
+	_, want := runToResult(t, plain, spec)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("replayed reuse result differs from direct computation:\n%s\nvs\n%s", data, want)
+	}
+}

@@ -67,6 +67,10 @@ type JobSpec struct {
 	// TimeoutSeconds, when positive, bounds the job's running time; a
 	// job over its deadline fails with a journaled "deadline exceeded".
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// NoCache opts this submission out of the result cache entirely: no
+	// lookup, no near-miss reuse, no store-back. The field participates
+	// in the digest (a bypassed job is a genuinely different request).
+	NoCache bool `json:"nocache,omitempty"`
 }
 
 // normalize fills the defaulted fields in place.
@@ -184,6 +188,15 @@ type JobStatus struct {
 	Resumed     bool      `json:"resumed,omitempty"`
 	SpecDigest  string    `json:"spec_digest"`
 	SubmittedAt time.Time `json:"submitted_at"`
+	// Cache reports how the result cache treated this submission: "hit"
+	// (served entirely from cache, terminal at birth), "miss" (computed
+	// — possibly with some points grafted from a near-miss entry, see
+	// ReusedPoints), "bypass" (spec asked nocache), or empty when the
+	// server runs without a cache.
+	Cache string `json:"cache,omitempty"`
+	// ReusedPoints counts result points served from a cached superset
+	// entry instead of computed; Points counts only computed points.
+	ReusedPoints int `json:"reused_points,omitempty"`
 }
 
 // ResultPoint is one completed sweep point in a job result, in global
@@ -195,11 +208,12 @@ type ResultPoint struct {
 }
 
 // Result is the merged outcome of a completed job, written atomically to
-// result.json in the job directory. It contains nothing wall-clock
-// dependent, so for a fixed spec the serialized result is bit-identical
-// whether the job ran uninterrupted or limped through kills and restarts.
+// result.json in the job directory. It contains nothing wall-clock or
+// identity dependent — keyed by spec digest, not job ID — so for a fixed
+// spec the serialized result is bit-identical whether the job ran
+// uninterrupted, limped through kills and restarts, or was served from
+// the result cache by a different job entirely.
 type Result struct {
-	ID         string        `json:"id"`
 	Experiment string        `json:"experiment"`
 	SpecDigest string        `json:"spec_digest"`
 	Grid       []float64     `json:"grid"`

@@ -21,6 +21,12 @@ const (
 	recDone      = "done"
 	recFailed    = "failed"
 	recCancelled = "cancelled"
+	// recReused records a near-miss cache reuse decision, appended right
+	// after the job's submitted record: the source entry, the remainder
+	// grid still to compute, and the grafted points themselves. Replay
+	// applies it so a restarted server reconstructs the identical shard
+	// layout without consulting the cache.
+	recReused = "reused"
 )
 
 // Record is one fsynced line in the job journal. Submitted records carry
@@ -35,6 +41,8 @@ type Record struct {
 	At    time.Time `json:"at"`
 	Spec  *JobSpec  `json:"spec,omitempty"`
 	Error string    `json:"error,omitempty"`
+	// Reuse carries a near-miss cache reuse plan on recReused records.
+	Reuse *reusePlan `json:"reuse,omitempty"`
 }
 
 // CorruptJournalError reports a journal whose interior is unparseable —

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"revft/internal/chaos"
+	"revft/internal/resultcache"
 	"revft/internal/sim"
 	"revft/internal/sweep"
 	"revft/internal/telemetry"
@@ -68,6 +70,11 @@ type Config struct {
 	// Trace, when non-nil, receives server-wide job lifecycle events (in
 	// addition to each job's own trace.jsonl).
 	Trace *telemetry.Trace
+	// Cache, when non-nil, is the content-addressed result cache consulted
+	// before admission (exact hits short-circuit the pipeline; same-family
+	// superset grids donate points) and filled with every completed
+	// result. See cache.go.
+	Cache *resultcache.Store
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +99,13 @@ type job struct {
 	points    int
 	shards    int
 	trialCost int64
+	// grid is the gate-error grid the job actually computes: the full
+	// spec grid, or the reuse plan's remainder when cached points were
+	// grafted in. cache labels the status field; reuse, when non-nil,
+	// holds the journaled near-miss plan.
+	grid  []float64
+	cache string
+	reuse *reusePlan
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -251,6 +265,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:     make(map[string]*job),
 		tenants:  make(map[string]*tenantUsage),
 	}
+	if cfg.Cache != nil {
+		s.manifest.Cache = &telemetry.CacheSpec{Dir: cfg.Cache.Dir}
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.stopRun = context.WithCancel(context.Background())
 	if err := s.replay(recs); err != nil {
@@ -305,6 +322,14 @@ func (s *Server) replay(recs []Record) error {
 			if j != nil {
 				s.replayTerminal(j, StateCancelled, rec.Error)
 			}
+		case recReused:
+			if j != nil && !j.state.Terminal() {
+				j.reuse = restorePlanFromRecord(rec)
+				if j.reuse != nil {
+					// Reuse is a flavor of miss: the job still computed.
+					j.cache = CacheMiss
+				}
+			}
 		}
 	}
 	for _, id := range s.order {
@@ -342,7 +367,15 @@ func (s *Server) activateLocked(j *job) error {
 	if driver == nil {
 		return fmt.Errorf("no driver registered for experiment %q", j.spec.Experiment)
 	}
-	fn, points, err := driver(j.spec, j.spec.Grid())
+	grid := j.spec.Grid()
+	if j.reuse != nil && len(j.reuse.Remainder) > 0 {
+		// Near-miss reuse: the job computes only the grid values no cached
+		// point covers. Quota accounting below then charges the remainder,
+		// not the nominal grid — reused points genuinely cost nothing.
+		grid = j.reuse.Remainder
+	}
+	j.grid = grid
+	fn, points, err := driver(j.spec, grid)
 	if err != nil {
 		return err
 	}
@@ -489,13 +522,64 @@ func (s *Server) SubmitSpan(spec JobSpec, parent telemetry.Span) (JobStatus, err
 		s.countReject(spec.Tenant, CodeUnknownExperiment)
 		return JobStatus{}, reject(CodeUnknownExperiment, 400, "no driver registered for experiment %q", spec.Experiment)
 	}
+	digest := spec.Digest()
+	// Consult the result cache before taking the server mutex: lookup is
+	// pure disk reads and may scan the store for near-miss candidates.
+	var hitPayload []byte
+	var hitPoints int
+	var plan *reusePlan
+	if s.cfg.Cache != nil && !spec.NoCache {
+		hitPayload, hitPoints, plan = s.cacheLookup(spec, digest, parent.Child("cache"))
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := &job{
-		spec: spec, digest: spec.Digest(),
+		spec: spec, digest: digest, cache: s.cacheOutcome(spec),
 		state: StateQueued, submittedAt: time.Now().UTC(),
 		doneCh: make(chan struct{}),
+	}
+	if hitPayload == nil && plan != nil && len(plan.Remainder) == 0 {
+		// A same-family entry covers every requested point: assemble the
+		// subset result and serve it exactly like an exact hit.
+		data, pts, aerr := assembleReused(spec, digest, plan)
+		if aerr != nil {
+			s.logf("cache reuse assembly failed (%v); computing instead", aerr)
+			plan = nil
+		} else {
+			hitPayload, hitPoints = data, pts
+			j.reuse = plan
+		}
+	}
+	if hitPayload != nil {
+		// Even a free job is refused by a failed or draining server: the
+		// client should move on, not read from a process on its way out.
+		if s.fatalErr != nil {
+			s.countReject(spec.Tenant, CodeServerFailed)
+			return JobStatus{}, reject(CodeServerFailed, 503, "server failed: %v", s.fatalErr)
+		}
+		if s.draining {
+			s.countReject(spec.Tenant, CodeDraining)
+			return JobStatus{}, reject(CodeDraining, 503, "server is draining; submit to another instance")
+		}
+		j.cache = CacheHit
+		st, ok, err := s.admitCacheHitLocked(j, hitPayload, hitPoints, parent)
+		if ok {
+			if err == nil && j.reuse != nil {
+				// The assembled subset result is itself cacheable under its
+				// own digest; the next identical submission is an exact hit.
+				s.storeResultLocked(j, hitPayload)
+			}
+			return st, err
+		}
+		// The result write degraded; fall back to computing from scratch.
+		j.cache = s.cacheOutcome(spec)
+		j.reuse = nil
+		j.id = ""
+		plan = nil
+	}
+	if plan != nil && len(plan.Remainder) > 0 {
+		j.reuse = plan
 	}
 	if err := s.activateLocked(j); err != nil {
 		s.countReject(spec.Tenant, CodeInvalidSpec)
@@ -513,6 +597,25 @@ func (s *Server) SubmitSpan(spec JobSpec, parent telemetry.Span) (JobStatus, err
 		j.cancel()
 		s.fatalLocked(err)
 		return JobStatus{}, reject(CodeServerFailed, 503, "journal write failed: %v", err)
+	}
+	if j.reuse != nil {
+		// The reuse decision must be as durable as the submission itself:
+		// replay reconstructs the remainder grid (hence the shard
+		// checkpoint digests) from this record, never from the cache.
+		rr := Record{Seq: s.nextSeqLocked(), Type: recReused, Job: j.id, At: time.Now().UTC(), Reuse: j.reuse}
+		if err := s.journal.Append(rr); err != nil {
+			j.cancel()
+			s.fatalLocked(err)
+			return JobStatus{}, reject(CodeServerFailed, 503, "journal write failed: %v", err)
+		}
+		s.cfg.Metrics.Counter("server.cache_near_hits").Inc()
+		s.cfg.Metrics.Counter("server.cache_reused_points").Add(int64(len(j.reuse.Points)))
+		s.cfg.Trace.Emit("job_cache_reuse", j.span.Tag(map[string]any{
+			"job": j.id, "source": j.reuse.Source,
+			"reused_points": len(j.reuse.Points), "remainder_points": len(j.reuse.Remainder),
+		}))
+		s.logf("job %s: grafting %d cached points from %.12s; computing %d remaining grid values",
+			j.id, len(j.reuse.Points), j.reuse.Source, len(j.reuse.Remainder))
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -712,7 +815,7 @@ func (s *Server) shardSpec(j *job, k int) sweep.Spec {
 	}
 	return sweep.Spec{
 		Experiment: j.spec.Experiment,
-		Grid:       j.spec.Grid(),
+		Grid:       j.grid,
 		Points:     shardPoints(j.points, j.shards, k),
 		Trials:     j.spec.Trials,
 		Workers:    j.spec.Workers,
@@ -786,25 +889,62 @@ func (s *Server) completeLocked(j *job) {
 		s.finishLocked(j, StateFailed, fmt.Sprintf("write result: %v", err))
 		return
 	}
+	s.storeResultLocked(j, data)
 	s.finishLocked(j, StateDone, "")
 }
 
-// mergeResult stitches the shards' point results back into global point
-// order and verifies no point is missing or duplicated.
+// mergeResult stitches the shards' point results — and any points grafted
+// from a cached superset entry — back into the requested grid's global
+// point order, verifying no point is missing or duplicated. With a reuse
+// plan active, computed points arrive indexed over the remainder grid and
+// are mapped back onto the requested grid by ε value.
 func (j *job) mergeResult() (*Result, error) {
-	pts := make([]ResultPoint, j.points)
-	seen := make([]bool, j.points)
+	reqGrid := j.spec.Grid()
+	var reused []reusePoint
+	if j.reuse != nil {
+		reused = j.reuse.Points
+	}
+	total := j.points + len(reused)
+	if len(reqGrid) < 1 || total%len(reqGrid) != 0 {
+		return nil, fmt.Errorf("merged point count %d is not a multiple of grid size %d", total, len(reqGrid))
+	}
+	pts := make([]ResultPoint, total)
+	seen := make([]bool, total)
+	for _, rp := range reused {
+		if rp.Index < 0 || rp.Index >= total || seen[rp.Index] {
+			return nil, fmt.Errorf("reuse plan has bad global point %d", rp.Index)
+		}
+		pts[rp.Index] = ResultPoint{Index: rp.Index, Ests: rp.Ests, Stopped: rp.Stopped}
+		seen[rp.Index] = true
+	}
+	reqIdx := make(map[uint64]int, len(reqGrid))
+	for i, v := range reqGrid {
+		reqIdx[math.Float64bits(v)] = i
+	}
+	rem := j.grid
 	for k, res := range j.shardRes {
 		for _, p := range res {
 			if p.Partial {
 				return nil, fmt.Errorf("shard %d reported a partial point in a complete outcome", k)
 			}
 			g := k + p.Index*j.shards
-			if g < 0 || g >= j.points || seen[g] {
-				return nil, fmt.Errorf("shard %d produced bad global point %d", k, g)
+			if g < 0 || g >= j.points {
+				return nil, fmt.Errorf("shard %d produced bad computed point %d", k, g)
 			}
-			pts[g] = ResultPoint{Index: g, Ests: p.Ests, Stopped: p.Stopped}
-			seen[g] = true
+			gi := g
+			if j.reuse != nil && len(rem) > 0 {
+				b, ri := g/len(rem), g%len(rem)
+				qi, ok := reqIdx[math.Float64bits(rem[ri])]
+				if !ok {
+					return nil, fmt.Errorf("remainder value %g not in requested grid", rem[ri])
+				}
+				gi = b*len(reqGrid) + qi
+			}
+			if gi < 0 || gi >= total || seen[gi] {
+				return nil, fmt.Errorf("shard %d produced bad global point %d", k, gi)
+			}
+			pts[gi] = ResultPoint{Index: gi, Ests: p.Ests, Stopped: p.Stopped}
+			seen[gi] = true
 		}
 	}
 	for i, ok := range seen {
@@ -813,10 +953,9 @@ func (j *job) mergeResult() (*Result, error) {
 		}
 	}
 	return &Result{
-		ID:         j.id,
 		Experiment: j.spec.Experiment,
 		SpecDigest: j.digest,
-		Grid:       j.spec.Grid(),
+		Grid:       reqGrid,
 		Points:     pts,
 	}, nil
 }
@@ -922,13 +1061,18 @@ func (s *Server) Jobs() []JobStatus {
 }
 
 func (s *Server) statusLocked(j *job) JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID: j.id, Tenant: j.spec.Tenant, Experiment: j.spec.Experiment,
 		State: j.state, Error: j.errText,
 		Points: j.points, Trials: j.spec.Trials,
 		Shards: j.shards, ShardsDone: j.shardsDone,
 		Resumed: j.resumed, SpecDigest: j.digest, SubmittedAt: j.submittedAt,
+		Cache: j.cache,
 	}
+	if j.reuse != nil {
+		st.ReusedPoints = len(j.reuse.Points)
+	}
+	return st
 }
 
 // Result returns the serialized result.json of a completed job.

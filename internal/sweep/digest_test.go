@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// The spec digest is a stable on-disk contract: it keys checkpoints, job
+// directories, and the content-addressed result cache. These golden
+// tests pin the canonical JSON encoding (field order, float formatting,
+// omitempty behavior) and the digest derived from it, so an accidental
+// struct-tag or field-order change fails loudly here instead of silently
+// invalidating every existing checkpoint and cache entry in the field.
+//
+// If one of these golden values ever changes on purpose, that is a
+// cache- and checkpoint-breaking format migration and must be treated as
+// such — not just a constant update.
+
+const (
+	goldenFullJSON   = `{"experiment":"recovery","grid":[0.001,0.0031622776601683794,0.01],"points":3,"trials":40000,"workers":4,"seed":12345,"engine":"lanes","extra":"maxlevel=2 bits=3","stop":{"reltol":0.05,"min_trials":1000,"max_trials":40000}}`
+	goldenFullDigest = "331545346ecdd049c904e84290b98987db2a3639aee305e57db929c302fdaec0"
+
+	goldenZeroScaleJSON   = `{"experiment":"recovery","grid":[0.001,0.0031622776601683794,0.01],"points":3,"trials":40000,"workers":4,"seed":12345,"engine":"lanes","extra":"maxlevel=2 bits=3","stop":{"reltol":0.05,"min_trials":1000,"max_trials":40000,"zero_scale":2.5e-7}}`
+	goldenZeroScaleDigest = "60075829486e628466a580a5f3fd2a78e4bc361597ff612ddb8f961cc174ab13"
+
+	goldenMinimalJSON   = `{"experiment":"levels","points":8,"trials":100,"workers":1,"seed":1,"engine":"scalar","stop":{"reltol":0,"min_trials":0,"max_trials":0}}`
+	goldenMinimalDigest = "a6357f3c2b9abfd3d5ea6d8383bdcc6c0e29dfab10031ee63181b90f41c106bf"
+)
+
+func goldenFullSpec() Spec {
+	return Spec{
+		Experiment: "recovery",
+		// 1e-3 must encode as 0.001 and the midpoint keep all 17
+		// significant digits — shortest round-trip float formatting.
+		Grid:    []float64{1e-3, 0.0031622776601683794, 0.01},
+		Points:  3,
+		Trials:  40000,
+		Workers: 4,
+		Seed:    12345,
+		Engine:  "lanes",
+		Extra:   "maxlevel=2 bits=3",
+		Stop:    StopRule{RelTol: 0.05, MinTrials: 1000, MaxTrials: 40000},
+	}
+}
+
+func TestSpecDigestGolden(t *testing.T) {
+	cases := []struct {
+		name       string
+		spec       Spec
+		wantJSON   string
+		wantDigest string
+	}{
+		{"full", goldenFullSpec(), goldenFullJSON, goldenFullDigest},
+		{"zeroscale", func() Spec {
+			s := goldenFullSpec()
+			s.Stop.ZeroScale = 2.5e-7
+			return s
+		}(), goldenZeroScaleJSON, goldenZeroScaleDigest},
+		{"minimal", Spec{Experiment: "levels", Points: 8, Trials: 100, Workers: 1, Seed: 1, Engine: "scalar"},
+			goldenMinimalJSON, goldenMinimalDigest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != tc.wantJSON {
+				t.Errorf("canonical JSON changed — this invalidates every existing checkpoint and cache key\n got: %s\nwant: %s", b, tc.wantJSON)
+			}
+			if got := tc.spec.Digest(); got != tc.wantDigest {
+				t.Errorf("digest changed: got %s want %s", got, tc.wantDigest)
+			}
+			// The digest must be exactly SHA-256(canonical JSON).
+			sum := sha256.Sum256([]byte(tc.wantJSON))
+			if want := hex.EncodeToString(sum[:]); tc.wantDigest != want {
+				t.Errorf("golden digest is not SHA-256 of golden JSON: %s vs %s", tc.wantDigest, want)
+			}
+		})
+	}
+}
+
+// TestSpecDigestZeroScaleOmitted pins the omitempty interaction that
+// keeps pre-ZeroScale checkpoints valid: a zero ZeroScale encodes to the
+// same bytes (and digest) as a spec that predates the field, while any
+// nonzero value changes the digest.
+func TestSpecDigestZeroScaleOmitted(t *testing.T) {
+	s := goldenFullSpec()
+	if s.Stop.ZeroScale != 0 {
+		t.Fatal("precondition: golden spec has ZeroScale 0")
+	}
+	if got := s.Digest(); got != goldenFullDigest {
+		t.Fatalf("zero ZeroScale digest = %s, want the pre-field golden %s", got, goldenFullDigest)
+	}
+	s.Stop.ZeroScale = 2.5e-7
+	if got := s.Digest(); got == goldenFullDigest {
+		t.Fatal("nonzero ZeroScale must change the digest")
+	}
+}
+
+// TestSpecDigestSensitivity checks the digest moves when any field does:
+// a cache keyed on it must never serve one spec's result for another.
+func TestSpecDigestSensitivity(t *testing.T) {
+	base := goldenFullSpec()
+	mutate := map[string]func(*Spec){
+		"experiment": func(s *Spec) { s.Experiment = "levels" },
+		"grid":       func(s *Spec) { s.Grid[1] *= 1.0000000001 },
+		"points":     func(s *Spec) { s.Points++ },
+		"trials":     func(s *Spec) { s.Trials++ },
+		"workers":    func(s *Spec) { s.Workers++ },
+		"seed":       func(s *Spec) { s.Seed++ },
+		"engine":     func(s *Spec) { s.Engine = "scalar" },
+		"extra":      func(s *Spec) { s.Extra = "maxlevel=1 bits=3" },
+		"reltol":     func(s *Spec) { s.Stop.RelTol = 0.01 },
+		"zero_scale": func(s *Spec) { s.Stop.ZeroScale = 1e-9 },
+	}
+	for name, mut := range mutate {
+		s := goldenFullSpec()
+		mut(&s)
+		if s.Digest() == base.Digest() {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}
+
+// TestCorruptErrorFullLengthDigests pins that LoadFS populates
+// CorruptError.SpecDigest and RecordedDigest with the full 64-char hex
+// digests — the cache and server compare these fields programmatically;
+// only the Error() string truncates for display.
+func TestCorruptErrorFullLengthDigests(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	ck := &Checkpoint{
+		Digest: "0000000000000000000000000000000000000000000000000000000000000000",
+		Spec:   goldenFullSpec(),
+	}
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Load = %v, want *CorruptError", err)
+	}
+	if len(ce.SpecDigest) != 64 || len(ce.RecordedDigest) != 64 {
+		t.Fatalf("digest fields must be full-length: spec %d chars, recorded %d chars", len(ce.SpecDigest), len(ce.RecordedDigest))
+	}
+	if ce.SpecDigest != goldenFullDigest {
+		t.Errorf("SpecDigest = %s, want %s", ce.SpecDigest, goldenFullDigest)
+	}
+	if ce.RecordedDigest != ck.Digest {
+		t.Errorf("RecordedDigest = %s, want %s", ce.RecordedDigest, ck.Digest)
+	}
+	// The display string truncates; the fields do not.
+	if msg := ce.Error(); len(msg) == 0 {
+		t.Error("empty Error string")
+	}
+}

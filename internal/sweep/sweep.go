@@ -267,8 +267,10 @@ type CorruptError struct {
 	Path string
 	// Err is the parse error, nil for a digest inconsistency.
 	Err error
-	// SpecDigest and RecordedDigest are set (truncated to 12 hex chars)
-	// when the JSON parsed but the digest did not match the spec.
+	// SpecDigest and RecordedDigest are set — as full-length hex digests,
+	// suitable for programmatic comparison — when the JSON parsed but the
+	// digest did not match the spec. Only the Error string truncates them
+	// for display.
 	SpecDigest, RecordedDigest string
 }
 

@@ -28,6 +28,16 @@ type Manifest struct {
 	// checkpoint produced under chaos can never be mistaken for a clean
 	// run's. Nil (omitted from JSON) when injection is off.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// Cache records the content-addressed result cache consulted during
+	// the run, so an artifact can be traced to the store its points may
+	// have been served from. Nil (omitted from JSON) when no cache is
+	// configured.
+	Cache *CacheSpec `json:"cache,omitempty"`
+}
+
+// CacheSpec is the manifest record of an active result cache.
+type CacheSpec struct {
+	Dir string `json:"dir"`
 }
 
 // ChaosSpec is the manifest record of an active fault-injection
