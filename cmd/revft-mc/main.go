@@ -96,6 +96,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -105,8 +106,10 @@ import (
 	"time"
 
 	"revft/internal/chaos"
+	"revft/internal/client"
 	"revft/internal/exp"
 	"revft/internal/resultcache"
+	"revft/internal/server"
 	"revft/internal/stats"
 	"revft/internal/telemetry"
 )
@@ -144,6 +147,11 @@ func run(args []string) error {
 		maxLevel = fs.Int("maxlevel", 2, "deepest concatenation level (levels experiment)")
 		bits     = fs.Int("bits", 4, "adder width (adder experiment)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+
+		serverURL = fs.String("server", "", "submit the sweep to a running revft-server at this base URL (e.g. http://127.0.0.1:8080) instead of computing locally; sweep experiments only")
+		priority  = fs.String("priority", "", "with -server: job priority class interactive|batch|bulk (default batch)")
+		shards    = fs.Int("shards", 0, "with -server: seed-stable point shards to fan the job out as (0 = server default)")
+		tenant    = fs.String("tenant", "", "with -server: tenant name for quota accounting (default \"default\")")
 
 		cacheDir   = fs.String("cache", "", "content-addressed result cache directory for the sweep experiments: serve an already-computed sweep from the cache and store fresh completions into it")
 		checkpoint = fs.String("checkpoint", "", "checkpoint file for the sweep experiments (rewritten after every completed point)")
@@ -219,6 +227,50 @@ func run(args []string) error {
 	}
 	if *resume && *checkpoint == "" {
 		return errors.New("-resume requires -checkpoint")
+	}
+	if *serverURL == "" {
+		for name, set := range map[string]bool{
+			"-priority": *priority != "",
+			"-shards":   *shards != 0,
+			"-tenant":   *tenant != "",
+		} {
+			if set {
+				return fmt.Errorf("%s requires -server (remote mode)", name)
+			}
+		}
+	} else {
+		if !sweepExp {
+			return fmt.Errorf("-server only applies to the sweep experiments (recovery, levels, local, adder), not %q", *expName)
+		}
+		// The local runtime flags make no sense against a remote server,
+		// which has its own checkpoints, cache, chaos seams, and traces.
+		for name, set := range map[string]bool{
+			"-cache":      *cacheDir != "",
+			"-checkpoint": *checkpoint != "",
+			"-resume":     *resume,
+			"-chaos":      *chaosRate != 0,
+			"-debug-addr": *debugAddr != "",
+			"-trace":      *traceFile != "",
+		} {
+			if set {
+				return fmt.Errorf("%s is a local-run flag; it does not apply with -server", name)
+			}
+		}
+		if *shards < 0 {
+			return fmt.Errorf("-shards %d: need 0 (server default) or more", *shards)
+		}
+		spec := server.JobSpec{
+			Tenant:     *tenant,
+			Experiment: *expName,
+			GMin:       *gmin, GMax: *gmax, Points: *points,
+			Trials: *trials, Seed: *seed, Engine: *engine,
+			MaxLevel: *maxLevel, Bits: *bits,
+			Shards: *shards, Workers: *workers,
+			RelTol: *reltol, ZeroScale: *zeroscale,
+			TimeoutSeconds: timeout.Seconds(),
+			Priority:       *priority,
+		}
+		return runRemote(*serverURL, spec, *csv, *progress)
 	}
 
 	// Chaos: a positive rate swaps the runtime filesystem under the
@@ -399,6 +451,85 @@ func run(args []string) error {
 		return fmt.Errorf("sweep interrupted (%w); rerun with -checkpoint/-resume to make interruptions recoverable", sweepErr)
 	}
 	return nil
+}
+
+// runRemote submits the sweep to a revft-server through the idempotent
+// retrying client and renders the returned result.json as a table. The
+// submission is keyed by spec digest: rerunning the same command after a
+// crash (of this process or the server) adopts the original job instead
+// of duplicating it, and a server-side cache hit returns instantly.
+func runRemote(baseURL string, spec server.JobSpec, csv, progress bool) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	c := &client.Client{BaseURL: baseURL}
+	if progress {
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "revft-mc: "+format+"\n", args...)
+		}
+	}
+	st, data, err := c.Run(ctx, spec)
+	if err != nil {
+		var jf *client.JobFailedError
+		if errors.As(err, &jf) {
+			return fmt.Errorf("remote job %s ended %s: %s", jf.Status.ID, jf.Status.State, jf.Status.Error)
+		}
+		return fmt.Errorf("remote run: %w", err)
+	}
+	t, err := remoteTable(baseURL, st, data)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.Format())
+	}
+	return nil
+}
+
+// remoteTable renders a server result.json generically: one row per
+// result point with each estimate's rate, 95% Wilson CI, and trial
+// count. The canonical machine-readable artifact stays the result.json
+// itself (GET /jobs/{id}/result), keyed by spec digest.
+func remoteTable(baseURL string, st server.JobStatus, data []byte) (*exp.Table, error) {
+	var res server.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("decode remote result: %w", err)
+	}
+	if len(res.Grid) == 0 || len(res.Points) == 0 {
+		return nil, errors.New("remote result is empty")
+	}
+	blocks := len(res.Points) / len(res.Grid)
+	nEst := len(res.Points[0].Ests)
+	t := &exp.Table{
+		ID:    "remote",
+		Title: fmt.Sprintf("%s sweep via %s", res.Experiment, baseURL),
+	}
+	if blocks > 1 {
+		t.Header = append(t.Header, "block")
+	}
+	t.Header = append(t.Header, "eps")
+	for i := 0; i < nEst; i++ {
+		t.Header = append(t.Header,
+			fmt.Sprintf("rate%d", i), fmt.Sprintf("ci95lo%d", i), fmt.Sprintf("ci95hi%d", i), fmt.Sprintf("trials%d", i))
+	}
+	for _, p := range res.Points {
+		var cells []any
+		if blocks > 1 {
+			cells = append(cells, p.Index/len(res.Grid))
+		}
+		cells = append(cells, res.Grid[p.Index%len(res.Grid)])
+		for _, e := range p.Ests {
+			lo, hi := e.Wilson(1.96)
+			cells = append(cells, e.Rate(), lo, hi, e.Trials)
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("job %s (tenant %s, priority %s); spec digest %.16s…", st.ID, st.Tenant, st.Priority, st.SpecDigest)
+	if st.Cache != "" {
+		t.AddNote("server cache: %s (%d reused points)", st.Cache, st.ReusedPoints)
+	}
+	return t, nil
 }
 
 // expectedTrials returns the run's total trial budget for the heartbeat's

@@ -20,6 +20,16 @@
 //	curl :8023/jobs/<id>/result     # fetch result.json once done
 //	curl -X DELETE :8023/jobs/<id>  # cancel
 //
+// Jobs carry a priority class (interactive, batch, or bulk, default
+// batch): the shard scheduler serves classes by weighted round-robin
+// (8/3/1), preempts running bulk shards at checkpoint boundaries when
+// interactive work queues, and refuses or sheds — with typed 429s and
+// Retry-After hints — jobs whose requested timeout the current queue
+// makes unmeetable. -stall-budget arms the stuck-shard watchdog:
+// attempts with no progress for that long are cancelled and retried
+// from their checkpoint. GET /healthz reports the four-state health
+// machine (healthy | degraded | draining | failed).
+//
 // -debug-addr serves /debug/pprof/ alongside /metrics and /debug/vars;
 // shard workers run under pprof labels (job, tenant, shard), so a CPU
 // profile of a busy server slices engine time per job.
@@ -103,6 +113,11 @@ func run(args []string) error {
 		maxActive    = fs.Int("max-active", 64, "bound on admitted-but-unfinished jobs across all tenants")
 		tenantJobs   = fs.Int("tenant-jobs", 8, "per-tenant concurrent active job quota (0 = unlimited)")
 		tenantTrials = fs.Int64("tenant-trials", 0, "per-tenant in-flight trial budget, points x trials summed over active jobs (0 = unlimited)")
+		maxInter     = fs.Int("max-interactive", 0, "bound on active interactive-priority jobs (0 = only the global -max-active bound)")
+		maxBatch     = fs.Int("max-batch", 0, "bound on active batch-priority jobs (0 = only the global -max-active bound)")
+		maxBulk      = fs.Int("max-bulk", 0, "bound on active bulk-priority jobs (0 = only the global -max-active bound)")
+		stallBudget  = fs.Duration("stall-budget", 2*time.Minute, "stuck-shard watchdog: cancel and retry a shard attempt with no progress for this long (0 disables)")
+		degradedAt   = fs.Int("degraded-queue", 0, "queued-shard depth past which /healthz reports degraded (0 = 8 x pool size)")
 		cacheDir     = fs.String("cache", "auto", `content-addressed result cache directory: "auto" = <data>/cache, "off" = disabled`)
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "bound on the SIGTERM graceful drain")
 		debugAddr    = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this host:port while the server runs")
@@ -151,6 +166,13 @@ func run(args []string) error {
 		MaxActiveJobs:      *maxActive,
 		MaxJobsPerTenant:   *tenantJobs,
 		MaxTrialsPerTenant: *tenantTrials,
+		MaxActivePerClass: map[string]int{
+			server.PriorityInteractive: *maxInter,
+			server.PriorityBatch:       *maxBatch,
+			server.PriorityBulk:        *maxBulk,
+		},
+		StallBudget:        *stallBudget,
+		DegradedQueueDepth: *degradedAt,
 		FS:                 fsys,
 		JournalFS:          chaos.OS,
 		Metrics:            reg,

@@ -128,6 +128,9 @@ func TestCrashRestartBitIdentical(t *testing.T) {
 	spec := JobSpec{
 		Experiment: "fake", GMin: 1e-3, GMax: 1e-2,
 		Points: 3, Trials: 500, Seed: 7, Shards: 1,
+		// Priority rides the journaled spec (replay must renormalize and
+		// reschedule it) while staying out of the digest.
+		Priority: PriorityInteractive,
 	}
 	mkCfg := func(dir string, jfs chaos.FS) Config {
 		return Config{

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 
 	"revft/internal/telemetry"
 )
@@ -13,7 +14,8 @@ import (
 // Handler returns the server's HTTP API:
 //
 //	POST   /jobs               submit a JobSpec, get 202 + JobStatus
-//	GET    /jobs               list all jobs
+//	GET    /jobs               list all jobs (?digest=<spec digest>
+//	                           filters — the idempotency lookup)
 //	GET    /jobs/{id}          poll one job's status
 //	GET    /jobs/{id}/result   fetch a completed job's result.json
 //	GET    /jobs/{id}/trace    fetch a job's JSONL trace
@@ -21,13 +23,30 @@ import (
 //	                           (JSON; ?format=text for text exposition)
 //	GET    /jobs/{id}/progress live progress, per-shard histograms, ETA
 //	DELETE /jobs/{id}          cancel a job
-//	GET    /healthz            liveness + drain state
+//	GET    /healthz            health state machine:
+//	                           healthy|degraded → 200, draining|failed → 503
 //	GET    /metrics            server-wide aggregate in text exposition
 //
 // Typed admission rejections surface as their RejectError status (429 for
 // overload and quota, 400 for bad specs, 503 while draining) with a JSON
 // body carrying the machine-readable code. Unknown job IDs are 404s on
 // every per-job route, including metrics and progress.
+//
+// # Backoff contract
+//
+// Every 429 and 503 response carries a Retry-After header (integer
+// seconds). 429s are load conditions on this instance — queue_full,
+// class_queue_full, deadline_unmeetable, tenant quotas — where the hint
+// derives from the observed shard service time and the queue ahead of
+// the request; retrying the *same* submission after that delay is
+// correct and safe, because submissions are idempotent by spec digest
+// (GET /jobs?digest= finds an already-accepted equivalent). 503s mean
+// the instance is going away (draining, failed): clients should prefer
+// another instance, or wait at least the hinted delay for a restart.
+// 400s are terminal — the spec itself is wrong — and must not be
+// retried. internal/client implements this contract: jittered
+// exponential backoff with the Retry-After as the floor, digest lookup
+// before every (re)submit, typed APIError for terminal refusals.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -52,11 +71,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps API errors onto status codes: RejectError carries its
-// own, lookup misses are 404, premature result fetches 409.
+// own, lookup misses are 404, premature result fetches 409. Every 429
+// and 503 carries a Retry-After header: the rejection's own estimate
+// when it has one, else 1s for load (slots churn quickly) and 30s for
+// 503s (the instance is going away; see the Handler doc block).
 func writeError(w http.ResponseWriter, err error) {
 	var rej *RejectError
 	switch {
 	case errors.As(err, &rej):
+		if rej.Status == http.StatusTooManyRequests || rej.Status == http.StatusServiceUnavailable {
+			sec := rej.RetryAfterSeconds
+			if sec < 1 {
+				sec = 1
+				if rej.Status == http.StatusServiceUnavailable {
+					sec = 30
+				}
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+		}
 		writeJSON(w, rej.Status, rej)
 	case errors.Is(err, ErrNotFound):
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not_found", "reason": err.Error()})
@@ -87,6 +119,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if d := r.URL.Query().Get("digest"); d != "" {
+		jobs := s.JobsByDigest(d)
+		if jobs == nil {
+			jobs = []JobStatus{}
+		}
+		writeJSON(w, http.StatusOK, jobs)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Jobs())
 }
 
@@ -137,18 +177,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleHealth serves the four-state health machine. degraded still
+// returns 200 — the instance works, a balancer should just prefer
+// others — while draining/failed return 503 with a Retry-After.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	fatal := s.fatalErr
-	s.mu.Unlock()
-	switch {
-	case fatal != nil:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "failed", "reason": fatal.Error()})
-	case draining:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	h := s.Health()
+	switch h.Status {
+	case HealthDraining, HealthFailed:
+		w.Header().Set("Retry-After", "30")
+		writeJSON(w, http.StatusServiceUnavailable, h)
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, h)
 	}
 }
 

@@ -71,6 +71,45 @@ type JobSpec struct {
 	// lookup, no near-miss reuse, no store-back. The field participates
 	// in the digest (a bypassed job is a genuinely different request).
 	NoCache bool `json:"nocache,omitempty"`
+	// Priority is the job's scheduling class: "interactive", "batch"
+	// (the default), or "bulk". It shapes only scheduling — admission
+	// bounds, queue order, shedding, and preemption — never results:
+	// shard seeds derive from global point indices alone, so a sweep
+	// computes bit-identical output whatever class it ran under. The
+	// field is journaled with the submission but excluded from Digest,
+	// so the same sweep at different priorities shares one cache entry.
+	Priority string `json:"priority,omitempty"`
+}
+
+// Priority classes, highest to lowest scheduling weight.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+	PriorityBulk        = "bulk"
+)
+
+// numClasses is the number of priority classes; classIndex maps a
+// normalized priority onto its queue index (0 = most urgent).
+const numClasses = 3
+
+// classWeights is the scheduler's weighted round-robin allotment: out of
+// every 12 shard claims under contention, interactive gets 8, batch 3,
+// bulk 1. Empty classes donate their share (work-conserving), and every
+// non-empty class is served each round (starvation-free).
+var classWeights = [numClasses]int{8, 3, 1}
+
+// classNames indexes class labels for metrics and logs.
+var classNames = [numClasses]string{PriorityInteractive, PriorityBatch, PriorityBulk}
+
+func classIndex(priority string) int {
+	switch priority {
+	case PriorityInteractive:
+		return 0
+	case PriorityBulk:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // normalize fills the defaulted fields in place.
@@ -86,6 +125,9 @@ func (s *JobSpec) normalize() {
 	}
 	if s.Workers <= 0 {
 		s.Workers = 1
+	}
+	if s.Priority == "" {
+		s.Priority = PriorityBatch
 	}
 }
 
@@ -135,6 +177,11 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("zeroscale requires reltol")
 	case s.TimeoutSeconds < 0:
 		return fmt.Errorf("timeout_seconds %v: need 0 (none) or positive", s.TimeoutSeconds)
+	case s.Priority != PriorityInteractive && s.Priority != PriorityBatch && s.Priority != PriorityBulk:
+		// Garbage priorities are refused at validation, before any
+		// metric or queue ever keys on the string, so hostile values
+		// cannot mint new metric series or scheduler classes.
+		return fmt.Errorf("priority %q: need interactive, batch, or bulk", s.Priority)
 	}
 	return nil
 }
@@ -147,6 +194,11 @@ func (s JobSpec) Grid() []float64 { return stats.LogSpace(s.GMin, s.GMax, s.Poin
 // derive from.
 func (s JobSpec) Digest() string {
 	s.normalize()
+	// Priority shapes scheduling, never results: two submissions that
+	// differ only in priority are the same computation, so they must
+	// share one digest (one cache entry, one shard-checkpoint binding).
+	// With omitempty this also keeps every pre-priority digest stable.
+	s.Priority = ""
 	b, err := json.Marshal(s)
 	if err != nil {
 		// JobSpec holds only scalars; Marshal cannot fail on it.
@@ -179,6 +231,7 @@ type JobStatus struct {
 	ID          string    `json:"id"`
 	Tenant      string    `json:"tenant"`
 	Experiment  string    `json:"experiment"`
+	Priority    string    `json:"priority,omitempty"`
 	State       State     `json:"state"`
 	Error       string    `json:"error,omitempty"`
 	Points      int       `json:"points"`
@@ -226,6 +279,8 @@ const (
 	CodeUnknownExperiment = "unknown_experiment"
 	CodeDraining          = "draining"
 	CodeQueueFull         = "queue_full"
+	CodeClassQueueFull    = "class_queue_full"
+	CodeDeadlineUnmeet    = "deadline_unmeetable"
 	CodeTenantJobQuota    = "tenant_job_quota"
 	CodeTenantTrialQuota  = "tenant_trial_quota"
 	CodeServerFailed      = "server_failed"
@@ -239,6 +294,11 @@ type RejectError struct {
 	Code   string `json:"error"`
 	Reason string `json:"reason"`
 	Status int    `json:"-"`
+	// RetryAfterSeconds, when positive, is the server's own estimate of
+	// when a retry could succeed; it becomes the Retry-After header on
+	// 429/503 responses (which carry one even when this is 0 — see
+	// writeError for the defaults).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 func (e *RejectError) Error() string {
@@ -247,6 +307,15 @@ func (e *RejectError) Error() string {
 
 func reject(code string, status int, format string, args ...any) *RejectError {
 	return &RejectError{Code: code, Status: status, Reason: fmt.Sprintf(format, args...)}
+}
+
+// retryAfter attaches a server-side retry hint (clamped to >= 1s).
+func (e *RejectError) retryAfter(sec int) *RejectError {
+	if sec < 1 {
+		sec = 1
+	}
+	e.RetryAfterSeconds = sec
+	return e
 }
 
 // shardPoints returns how many global points shard k of nShards owns when

@@ -227,6 +227,60 @@ func (o *jobObs) onPoint(k, nShards int, p sweep.PointResult, resumed bool) {
 	so.trajectory = append(so.trajectory, tp)
 }
 
+// heartbeat returns a progress fingerprint for the shard's live attempt:
+// points done plus the total counter and histogram-observation mass of
+// its live registry. Engines bump registry counters at every batch
+// boundary, so any forward motion — even mid-point — moves the value;
+// the watchdog treats *any change* (a fresh attempt resets the registry,
+// so the value may also drop) as progress and only a flat reading as a
+// stall.
+func (o *jobObs) heartbeat(k int) uint64 {
+	if o == nil || k < 0 || k >= len(o.shards) {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	so := o.shards[k]
+	v := uint64(so.attempts)<<32 + uint64(uint32(so.pointsDone))
+	if so.reg != nil {
+		snap := so.reg.Snapshot()
+		for _, c := range snap.Counters {
+			v += uint64(c)
+		}
+		for _, h := range snap.Histograms {
+			v += uint64(h.Count)
+		}
+	}
+	return v
+}
+
+// pointsDone returns the shard's completed-point count (current attempt).
+func (o *jobObs) pointsDone(k int) int {
+	if o == nil || k < 0 || k >= len(o.shards) {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.shards[k].pointsDone
+}
+
+// requeued returns a preempted shard to queued state: its next claim
+// re-measures queue wait from now, and its attempt registry is dropped
+// (the flushed checkpoint carries the authoritative snapshot the next
+// attempt resumes from).
+func (o *jobObs) requeued(k int, at time.Time) {
+	if o == nil || k < 0 || k >= len(o.shards) {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	so := o.shards[k]
+	so.state = "queued"
+	so.enqueuedAt = at
+	so.reg = nil
+	so.base = nil
+}
+
 // finished records a shard attempt's end state and its exact
 // point-boundary metrics snapshot (nil when the runner produced none).
 func (o *jobObs) finished(k int, state string, final *telemetry.Snapshot) {

@@ -62,9 +62,31 @@ type Config struct {
 	// value is the chaos default policy.
 	Retry chaos.Policy
 	// ShardRetry budgets re-execution of a shard whose trial panicked
-	// (sim.TrialPanicError); other shard errors are never retried. The
-	// zero value is the chaos default policy (4 attempts).
+	// (sim.TrialPanicError) or stalled under the watchdog (StallError);
+	// other shard errors are never retried. The zero value is the chaos
+	// default policy (4 attempts).
 	ShardRetry chaos.Policy
+	// MaxActivePerClass bounds admitted-but-unfinished jobs per priority
+	// class (keys interactive|batch|bulk); a class at its bound rejects
+	// with CodeClassQueueFull. Absent or 0 means the class shares only
+	// the global MaxActiveJobs bound.
+	MaxActivePerClass map[string]int
+	// StallBudget arms the stuck-shard watchdog: a running shard attempt
+	// whose heartbeat (points + telemetry counters) stays flat longer
+	// than this is cancelled with a typed StallError and retried under
+	// ShardRetry from its checkpoint. 0 disables the watchdog.
+	StallBudget time.Duration
+	// MaintenanceTick overrides the watchdog/shedder poll interval; <= 0
+	// selects 250ms, tightened to StallBudget/4 when that is smaller.
+	MaintenanceTick time.Duration
+	// DegradedQueueDepth is the queued-shard count past which /healthz
+	// reports degraded; <= 0 selects 8 × PoolWorkers.
+	DegradedQueueDepth int
+	// ShardSecondsEstimate seeds the EWMA of observed per-shard service
+	// seconds that deadline-aware admission and shedding divide pool
+	// capacity by. 0 starts with no estimate (the first completed shard
+	// provides one); tests use it to make shedding deterministic.
+	ShardSecondsEstimate float64
 	// Metrics receives server counters and gauges; nil disables them.
 	Metrics *telemetry.Registry
 	// Trace, when non-nil, receives server-wide job lifecycle events (in
@@ -99,6 +121,12 @@ type job struct {
 	points    int
 	shards    int
 	trialCost int64
+	// class is the job's priority class index (classIndex of the
+	// normalized spec priority); deadline is the absolute wall-clock
+	// instant TimeoutSeconds expires at, anchored to submittedAt so a
+	// crash-restart re-arms the timer from the *remaining* budget.
+	class    int
+	deadline time.Time
 	// grid is the gate-error grid the job actually computes: the full
 	// spec grid, or the reuse plan's remainder when cached points were
 	// grafted in. cache labels the status field; reuse, when non-nil,
@@ -165,11 +193,23 @@ type Server struct {
 	seq      int64
 	jobs     map[string]*job
 	order    []string
-	queue    []shardTask
+	sched    sched
 	active   int
 	tenants  map[string]*tenantUsage
 	draining bool
 	fatalErr error
+	// classActive counts admitted-but-unfinished jobs per priority
+	// class; attempts tracks live shard execution attempts (the
+	// watchdog's scan set and the preemption policy's victim pool).
+	classActive [numClasses]int
+	attempts    map[*attemptCtl]struct{}
+	// shardSeconds is the EWMA of observed completed-shard wall seconds;
+	// lastShed/lastStall drive the degraded health window.
+	shardSeconds float64
+	lastShed     time.Time
+	lastStall    time.Time
+	health       HealthState
+	healthReason string
 	// retired accumulates terminal jobs' merged per-shard snapshots so the
 	// server-wide /metrics view conserves their trial counters after their
 	// live registries are released.
@@ -264,7 +304,10 @@ func New(cfg Config) (*Server, error) {
 		fatalCh:  make(chan struct{}),
 		jobs:     make(map[string]*job),
 		tenants:  make(map[string]*tenantUsage),
+		attempts: make(map[*attemptCtl]struct{}),
+		health:   HealthHealthy,
 	}
+	s.shardSeconds = cfg.ShardSecondsEstimate
 	if cfg.Cache != nil {
 		s.manifest.Cache = &telemetry.CacheSpec{Dir: cfg.Cache.Dir}
 	}
@@ -278,6 +321,18 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	poll := cfg.MaintenanceTick
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+		if cfg.StallBudget > 0 && cfg.StallBudget/4 < poll {
+			poll = cfg.StallBudget / 4
+		}
+		if poll < 5*time.Millisecond {
+			poll = 5 * time.Millisecond
+		}
+	}
+	s.wg.Add(1)
+	go s.maintenance(poll)
 	return s, nil
 }
 
@@ -384,6 +439,7 @@ func (s *Server) activateLocked(j *job) error {
 	}
 	j.fn = fn
 	j.points = points
+	j.class = classIndex(j.spec.Priority)
 	j.shards = j.spec.Shards
 	if j.shards > points {
 		j.shards = points
@@ -398,6 +454,7 @@ func (s *Server) activateLocked(j *job) error {
 // and trace, deadline timer, and one queued task per shard.
 func (s *Server) admitLocked(j *job) {
 	s.active++
+	s.classActive[j.class]++
 	u := s.tenant(j.spec.Tenant)
 	u.jobs++
 	u.trials += j.trialCost
@@ -434,13 +491,27 @@ func (s *Server) admitLocked(j *job) {
 	s.cfg.Trace.Emit("job_admitted", j.span.Tag(map[string]any{"job": j.id, "tenant": j.spec.Tenant, "resumed": j.resumed}))
 
 	if j.spec.TimeoutSeconds > 0 {
-		d := time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
+		// The deadline anchors to submittedAt, which replay restores from
+		// the journaled record: a job resumed after a crash re-arms from
+		// its *remaining* budget, so crashing the server can never extend
+		// a deadline. A budget fully consumed before restart fails here,
+		// journaled, before any shard is queued.
+		j.deadline = j.submittedAt.Add(time.Duration(j.spec.TimeoutSeconds * float64(time.Second)))
+		d := time.Until(j.deadline)
+		if d <= 0 {
+			s.finishLocked(j, StateFailed, fmt.Sprintf(
+				"deadline exceeded after %gs (budget consumed before restart)", j.spec.TimeoutSeconds))
+			return
+		}
 		j.timer = time.AfterFunc(d, func() { s.deadline(j) })
 	}
 	now := time.Now()
 	for k := 0; k < j.shards; k++ {
-		s.queue = append(s.queue, shardTask{j, k})
+		s.sched.push(j.class, shardTask{j, k})
 		j.obs.enqueued(k, now)
+	}
+	if j.class == classIndex(PriorityInteractive) {
+		s.preemptLocked()
 	}
 	s.updateGaugesLocked()
 	s.cond.Broadcast()
@@ -493,8 +564,13 @@ func (s *Server) Err() error {
 }
 
 func (s *Server) updateGaugesLocked() {
-	s.cfg.Metrics.Gauge("server.queue_depth").Set(float64(len(s.queue)))
+	s.cfg.Metrics.Gauge("server.queue_depth").Set(float64(s.sched.depth()))
+	for c := 0; c < numClasses; c++ {
+		s.cfg.Metrics.Gauge("server.queue_depth." + classNames[c]).Set(float64(len(s.sched.queues[c])))
+		s.cfg.Metrics.Gauge("server.jobs_active." + classNames[c]).Set(float64(s.classActive[c]))
+	}
 	s.cfg.Metrics.Gauge("server.jobs_active").Set(float64(s.active))
+	s.refreshHealthLocked(time.Now())
 }
 
 // Submit admits one job: validate, resolve the driver, check admission
@@ -634,7 +710,22 @@ func (s *Server) admissionCheckLocked(j *job) *RejectError {
 		return reject(CodeDraining, 503, "server is draining; submit to another instance")
 	}
 	if s.active >= s.cfg.MaxActiveJobs {
-		return reject(CodeQueueFull, 429, "active job queue is full (%d jobs); retry later", s.active)
+		return reject(CodeQueueFull, 429, "active job queue is full (%d jobs); retry later", s.active).
+			retryAfter(int(s.shardSeconds) + 1)
+	}
+	if b := s.cfg.MaxActivePerClass[j.spec.Priority]; b > 0 && s.classActive[j.class] >= b {
+		return reject(CodeClassQueueFull, 429, "priority class %q is full (%d active jobs, bound %d); retry later",
+			j.spec.Priority, s.classActive[j.class], b).retryAfter(int(s.shardSeconds) + 1)
+	}
+	if j.spec.TimeoutSeconds > 0 {
+		// Deadline-aware shedding at the door: if the queue ahead of this
+		// class already makes the requested timeout unmeetable, refuse now
+		// with a hint of when to retry rather than admit doomed work.
+		if est := s.estimatedWaitLocked(j.class); est > j.spec.TimeoutSeconds {
+			return reject(CodeDeadlineUnmeet, 429,
+				"timeout %gs is unmeetable: estimated completion %.1fs at priority %q given current queue",
+				j.spec.TimeoutSeconds, est, j.spec.Priority).retryAfter(int(est-j.spec.TimeoutSeconds) + 1)
+		}
 	}
 	// Read-only view: a rejected submission must not leave a tenant map
 	// entry behind (unbounded growth under a tenant-name scan).
@@ -675,24 +766,39 @@ func (s *Server) worker() {
 	}
 }
 
-// next blocks for a runnable shard task. It returns ok=false when the
-// server is draining (or fatally failed) and the queue holds no more
-// work for this worker.
+// next blocks for a runnable shard task, claimed in weighted priority
+// order. It returns ok=false when the server is draining (or fatally
+// failed) and the queues hold no more work for this worker.
 func (s *Server) next() (shardTask, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for len(s.queue) > 0 {
-			t := s.queue[0]
-			s.queue = s.queue[1:]
+		for {
+			t, ok := s.sched.pop()
+			if !ok {
+				break
+			}
 			j := t.j
 			if j.state.Terminal() {
-				continue // cancelled or deadlined while queued
+				continue // cancelled, deadlined, or shed while queued
 			}
 			if s.draining || s.fatalErr != nil {
 				// Admitted but unstarted shards stay journaled as
 				// non-terminal; the next process requeues them.
 				continue
+			}
+			if j.state == StateQueued && !j.deadline.IsZero() {
+				// Claim-time shed: don't hand a pool worker a job whose
+				// remaining budget can no longer cover one shard's
+				// observed service time — fail it early and typed.
+				now := time.Now()
+				remaining := j.deadline.Sub(now).Seconds()
+				if remaining <= 0 || (s.shardSeconds > 0 && remaining < s.shardSeconds) {
+					s.shedLocked(j, fmt.Sprintf(
+						"shed at claim: remaining deadline budget %.2fs cannot cover estimated shard time %.2fs",
+						remaining, s.shardSeconds))
+					continue
+				}
 			}
 			if j.state == StateQueued {
 				rec := Record{Seq: s.nextSeqLocked(), Type: recStarted, Job: j.id, At: time.Now().UTC()}
@@ -706,6 +812,7 @@ func (s *Server) next() (shardTask, bool) {
 			s.updateGaugesLocked()
 			wait := j.obs.claimed(t.k, time.Now())
 			s.cfg.Metrics.Histogram("server.queue_wait_seconds", telemetry.WallBuckets).Observe(wait)
+			s.cfg.Metrics.Histogram("server.queue_wait_seconds."+classNames[j.class], telemetry.WallBuckets).Observe(wait)
 			return t, true
 		}
 		if s.draining || s.fatalErr != nil {
@@ -728,8 +835,12 @@ func (s *Server) runShard(t shardTask) {
 
 	pol := s.cfg.ShardRetry
 	pol.Retryable = func(err error) bool {
+		// Trial panics and watchdog stalls share the retry budget: both
+		// resume from the shard checkpoint, so a retried attempt
+		// recomputes nothing and the eventual result is bit-identical.
 		var pe *sim.TrialPanicError
-		return errors.As(err, &pe)
+		var se *StallError
+		return errors.As(err, &pe) || errors.As(err, &se)
 	}
 	pol.OnRetry = func(attempt int, err error, delay time.Duration) {
 		s.cfg.Metrics.Counter("server.shard_retries").Inc()
@@ -747,12 +858,18 @@ func (s *Server) runShard(t shardTask) {
 			fields["panic_seed"] = pe.Seed
 			fields["panic_value"] = fmt.Sprint(pe.Value)
 		}
+		var se *StallError
+		if errors.As(err, &se) {
+			fields["stall_points_done"] = se.PointsDone
+			fields["stall_idle_seconds"] = se.Idle.Seconds()
+		}
 		j.emit("shard_retry", sspan.Tag(fields))
 		s.logf("job %s shard %d: retrying after %v", j.id, t.k, err)
 	}
 
 	var out *sweep.Outcome
 	var err error
+	start := time.Now()
 	// pprof labels attribute every sample below — including the engine
 	// worker goroutines the sweep spawns, which inherit them — to the
 	// job, tenant, and shard, so `go tool pprof` can slice a busy server's
@@ -776,6 +893,18 @@ func (s *Server) runShard(t shardTask) {
 				}
 			}
 			j.obs.beginAttempt(t.k, reg, base)
+			// Each attempt runs under its own cancel-with-cause context:
+			// the watchdog cancels it with a StallError, the preemption
+			// policy with a PreemptError. Either way the runner flushes
+			// its checkpoint at the cancellation boundary and the typed
+			// cause (not the bare context error) decides the disposition.
+			actx, acancel := context.WithCancelCause(ctx)
+			ctl := &attemptCtl{j: j, k: t.k, cls: j.class, cancel: acancel}
+			s.registerAttempt(ctl)
+			defer func() {
+				s.unregisterAttempt(ctl)
+				acancel(nil)
+			}()
 			r := &sweep.Runner{
 				Spec:           spec,
 				Point:          shardPointFunc(j.fn, t.k, j.shards),
@@ -790,12 +919,20 @@ func (s *Server) runShard(t shardTask) {
 					j.obs.onPoint(t.k, j.shards, p, resumed)
 				},
 			}
-			o, rerr := r.Run(ctx)
+			o, rerr := r.Run(actx)
 			out = o
+			if rerr != nil {
+				cause := context.Cause(actx)
+				var se *StallError
+				var pe *PreemptError
+				if errors.As(cause, &se) || errors.As(cause, &pe) {
+					rerr = cause
+				}
+			}
 			return rerr
 		})
 	})
-	s.shardFinished(j, t.k, out, err)
+	s.shardFinished(j, t.k, out, err, time.Since(start).Seconds())
 }
 
 // exists probes a path through the server's FS seam.
@@ -827,17 +964,21 @@ func (s *Server) shardSpec(j *job, k int) sweep.Spec {
 }
 
 // shardFinished books one shard's outcome and decides the job's fate.
-func (s *Server) shardFinished(j *job, k int, out *sweep.Outcome, err error) {
+// wallSeconds is the shard's total execution wall time (all attempts),
+// which feeds the service-time estimate on completion.
+func (s *Server) shardFinished(j *job, k int, out *sweep.Outcome, err error, wallSeconds float64) {
 	var outMetrics *telemetry.Snapshot
 	if out != nil {
 		outMetrics = out.Metrics
 	}
+	var pre *PreemptError
 	sspan := j.span.Child("s" + strconv.Itoa(k))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.running--
 	switch {
 	case err == nil && out != nil && out.Complete:
+		s.observeShardSecondsLocked(wallSeconds)
 		j.obs.finished(k, "done", outMetrics)
 		j.shardRes[k] = out.Done
 		j.shardsDone++
@@ -857,6 +998,16 @@ func (s *Server) shardFinished(j *job, k int, out *sweep.Outcome, err error) {
 		// process resumes it exactly here.
 		j.obs.finished(k, "parked", outMetrics)
 		j.emit("shard_parked", sspan.Tag(map[string]any{"job": j.id, "shard": k}))
+	case errors.As(err, &pre):
+		// Preempted for interactive work: the attempt flushed its
+		// checkpoint at the cancellation boundary, so re-queuing the
+		// shard (in its own class) resumes with zero recomputation. The
+		// journal is untouched — the job was and stays running, exactly
+		// the drain-park shape but within one process.
+		j.obs.requeued(k, time.Now())
+		s.sched.push(j.class, shardTask{j, k})
+		j.emit("shard_preempted", sspan.Tag(map[string]any{"job": j.id, "shard": k}))
+		s.cond.Broadcast()
 	default:
 		j.obs.finished(k, "failed", outMetrics)
 		if err == nil {
@@ -983,6 +1134,7 @@ func (s *Server) finishLocked(j *job, st State, errText string) {
 	}
 	close(j.doneCh)
 	s.active--
+	s.classActive[j.class]--
 	u := s.tenant(j.spec.Tenant)
 	u.jobs--
 	u.trials -= j.trialCost
@@ -1060,10 +1212,26 @@ func (s *Server) Jobs() []JobStatus {
 	return out
 }
 
+// JobsByDigest returns every job with the given spec digest in submission
+// order — the idempotency lookup: a client that crashed after submitting
+// rediscovers its job by digest instead of submitting a duplicate.
+func (s *Server) JobsByDigest(digest string) []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobStatus
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.digest == digest {
+			out = append(out, s.statusLocked(j))
+		}
+	}
+	return out
+}
+
 func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{
 		ID: j.id, Tenant: j.spec.Tenant, Experiment: j.spec.Experiment,
-		State: j.state, Error: j.errText,
+		Priority: j.spec.Priority,
+		State:    j.state, Error: j.errText,
 		Points: j.points, Trials: j.spec.Trials,
 		Shards: j.shards, ShardsDone: j.shardsDone,
 		Resumed: j.resumed, SpecDigest: j.digest, SubmittedAt: j.submittedAt,
